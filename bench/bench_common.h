@@ -1,0 +1,109 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Every bench prints:
+//   == Figure N: <title> ==
+//   paper: <what the paper reported>
+//   <series / rows in gnuplot-friendly "label x y" form>
+//   result: <the headline numbers this run produced>
+// so bench_output.txt reads as a table-by-table comparison against the paper.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+
+namespace malt {
+
+inline void PrintFigureHeader(const std::string& id, const std::string& title,
+                              const std::string& paper_expectation) {
+  std::printf("\n== %s: %s ==\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_expectation.c_str());
+}
+
+inline void PrintCurve(const Series& series, const std::string& xlabel,
+                       const std::string& ylabel) {
+  std::printf("# %s: %s vs %s\n", series.label.c_str(), ylabel.c_str(), xlabel.c_str());
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::printf("%s %.6g %.6g\n", series.label.c_str(), series.x[i], series.y[i]);
+  }
+}
+
+// Downsampled curve print (keeps bench output readable).
+inline void PrintCurveSampled(const Series& series, size_t max_points) {
+  const size_t stride = series.size() > max_points ? series.size() / max_points : 1;
+  for (size_t i = 0; i < series.size(); i += stride) {
+    std::printf("%s %.6g %.6g\n", series.label.c_str(), series.x[i], series.y[i]);
+  }
+  if (series.size() > 0 && (series.size() - 1) % stride != 0) {
+    std::printf("%s %.6g %.6g\n", series.label.c_str(), series.x.back(), series.y.back());
+  }
+}
+
+inline void PrintResult(const char* format, ...) {
+  std::printf("result: ");
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Time (x value) at which `series` first reaches `target` (y <= target for
+// losses); -1 if never. Thin wrapper so benches read naturally.
+inline double TimeToTarget(const Series& series, double target) {
+  return FirstCrossing(series, target);
+}
+
+// First x where y >= target (for rising metrics like AUC).
+inline double TimeToTargetRising(const Series& series, double target) {
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series.y[i] >= target) {
+      return series.x[i];
+    }
+  }
+  return -1.0;
+}
+
+// Compact terminal visualization of a curve: one row of height-coded glyphs
+// over the series' y-range, so bench_output.txt shows the *shape* of every
+// convergence curve without leaving the terminal.
+inline void AsciiSparkline(const Series& series) {
+  if (series.size() < 2) {
+    return;
+  }
+  static const char* kLevels[] = {"\u2581", "\u2582", "\u2583", "\u2584",
+                                  "\u2585", "\u2586", "\u2587", "\u2588"};
+  double lo = series.y[0];
+  double hi = series.y[0];
+  for (double y : series.y) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  const double range = hi - lo;
+  std::printf("%-24s ", series.label.c_str());
+  const size_t stride = series.size() > 60 ? series.size() / 60 : 1;
+  for (size_t i = 0; i < series.size(); i += stride) {
+    const int level =
+        range <= 0 ? 0
+                   : static_cast<int>((series.y[i] - lo) / range * 7.999);
+    std::printf("%s", kLevels[level]);
+  }
+  std::printf("  [%.4g .. %.4g]\n", lo, hi);
+}
+
+inline double SafeSpeedup(double baseline_time, double time) {
+  if (baseline_time <= 0 || time <= 0) {
+    return 0;
+  }
+  return baseline_time / time;
+}
+
+}  // namespace malt
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,116 @@
+// Figure 5: PASCAL alpha — MR-SVM (one-shot per-epoch averaging, the
+// Hadoop-style algorithm) vs MALT-SVM (frequent parameter mixing), both
+// implemented over the MALT library, both with model averaging and BSP on
+// 10 ranks.
+//
+// Paper: both achieve (super-linear) speedup over single-rank SGD on alpha;
+// MALT converges ~3x faster than MR-SVM by iterations (~1.5x by time)
+// because its low-latency fabric lets it mix every cb=1000 examples instead
+// of once per epoch.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/svm_app.h"
+#include "src/base/flags.h"
+#include "src/baselines/mr_svm.h"
+#include "src/ml/dataset.h"
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 10, "parallel model replicas"));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 20, "epochs per configuration"));
+  const int malt_cb = static_cast<int>(flags.GetInt("cb", 500, "MALT communication batch"));
+  flags.Finish();
+
+  malt::PrintFigureHeader(
+      "Figure 5", "alpha: MR-SVM vs MALT-SVM speedup over single-rank SGD (modelavg, BSP)",
+      "both speed up over single SGD (super-linear on alpha); MALT ~3x MR-SVM by iterations");
+
+  malt::SparseDataset data = malt::MakeClassification(malt::AlphaLike());
+
+  // Single-rank baseline (defines the goal).
+  malt::SvmAppConfig serial_cfg;
+  serial_cfg.data = &data;
+  serial_cfg.epochs = epochs;
+  serial_cfg.cb_size = malt_cb;
+  serial_cfg.average = malt::SvmAppConfig::Average::kModel;
+  serial_cfg.svm.eta0 = 0.6f;  // constant-rate regime: the variance floor is visible
+  serial_cfg.evals_per_epoch = 4;
+  malt::MaltOptions serial_opts;
+  serial_opts.ranks = 1;
+  malt::SvmRunResult serial = malt::RunSvm(serial_opts, serial_cfg);
+
+  // MALT-SVM: model averaging every cb examples.
+  malt::SvmAppConfig malt_cfg = serial_cfg;
+  malt::MaltOptions par_opts;
+  par_opts.ranks = ranks;
+  par_opts.sync = malt::SyncMode::kBSP;
+  malt::SvmRunResult malt_svm = malt::RunSvm(par_opts, malt_cfg);
+
+  // MR-SVM: same machinery, one averaging round per epoch.
+  malt::SvmAppConfig mr_cfg = malt::MrSvmConfig(data, ranks, epochs);
+  mr_cfg.svm.eta0 = 0.6f;
+  mr_cfg.evals_per_epoch = 4;
+  malt::MaltOptions mr_opts;
+  mr_opts.ranks = ranks;
+  mr_opts.sync = malt::SyncMode::kBSP;
+  malt::SvmRunResult mr_svm = malt::RunSvm(mr_opts, mr_cfg);
+
+  // Context row: the same MR-SVM on its native habitat — a disk-backed
+  // map-reduce transport (HDFS-style: ~10 ms latency, ~100 MB/s) instead of
+  // InfiniBand. The paper's point (§6.1): MR-SVM's one-shot averaging exists
+  // *because* Hadoop communication is prohibitive; on that transport MALT's
+  // frequent mixing would be unaffordable, and on RDMA the frequent mixing
+  // wins.
+  malt::MaltOptions disk_opts = mr_opts;
+  disk_opts.fabric.net.latency = malt::FromSeconds(0.01);
+  disk_opts.fabric.net.bandwidth_bytes_per_sec = 1e8;
+  disk_opts.fabric.net.per_message_overhead = malt::FromSeconds(0.005);
+  malt::SvmRunResult mr_disk = malt::RunSvm(disk_opts, mr_cfg);
+  malt::SvmAppConfig malt_disk_cfg = malt_cfg;
+  malt::MaltOptions disk_opts2 = disk_opts;
+  malt::SvmRunResult malt_disk = malt::RunSvm(disk_opts2, malt_disk_cfg);
+
+  malt::Series s1 = serial.loss_vs_time;
+  s1.label = "single-rank-SGD";
+  malt::Series s2 = malt_svm.loss_vs_time;
+  s2.label = "MALT-SVM";
+  malt::Series s3 = mr_svm.loss_vs_time;
+  s3.label = "MR-SVM";
+  std::printf("# label seconds loss\n");
+  malt::PrintCurveSampled(s1, 15);
+  malt::PrintCurveSampled(s2, 15);
+  malt::PrintCurveSampled(s3, 15);
+  std::printf("# map-reduce-transport context (10ms latency, 100 MB/s):\n");
+  std::printf("transport rdma MR-SVM %.3fs MALT %.3fs\n", mr_svm.seconds_total,
+              malt_svm.seconds_total);
+  std::printf("transport disk MR-SVM %.3fs MALT %.3fs (frequent mixing unaffordable)\n",
+              mr_disk.seconds_total, malt_disk.seconds_total);
+
+  // Two goals: (a) the single-rank level — both parallel runs pass it far
+  // earlier (the figure's "speedup over single SGD"; on alpha this is
+  // super-linear because model averaging cuts the variance floor the single
+  // rank is stuck at); (b) the deeper parallel level for MALT-vs-MR-SVM.
+  const double goal_single = serial.final_loss * 1.002;
+  const double t_serial = malt::TimeToTarget(serial.loss_vs_time, goal_single);
+  std::printf("speedup_over_single_SGD MR-SVM %.1f\n",
+              malt::SafeSpeedup(t_serial, malt::TimeToTarget(mr_svm.loss_vs_time, goal_single)));
+  std::printf("speedup_over_single_SGD MALT-SVM %.1f\n",
+              malt::SafeSpeedup(t_serial,
+                                malt::TimeToTarget(malt_svm.loss_vs_time, goal_single)));
+
+  const double goal = std::max(malt_svm.final_loss, mr_svm.final_loss) * 1.002;
+  const double t_malt = malt::TimeToTarget(malt_svm.loss_vs_time, goal);
+  const double t_mr = malt::TimeToTarget(mr_svm.loss_vs_time, goal);
+  const double it_malt = malt::TimeToTarget(malt_svm.loss_vs_examples, goal);
+  const double it_mr = malt::TimeToTarget(mr_svm.loss_vs_examples, goal);
+  malt::PrintResult(
+      "deep goal %.4f (single-rank never reaches it within its run): MR-SVM %.3fs, "
+      "MALT %.3fs => MALT %.1fx vs MR-SVM by time, %.1fx by iterations (%.0f vs %.0f "
+      "per-rank examples)",
+      goal, t_mr, t_malt, malt::SafeSpeedup(t_mr, t_malt), malt::SafeSpeedup(it_mr, it_malt),
+      it_mr, it_malt);
+  return 0;
+}

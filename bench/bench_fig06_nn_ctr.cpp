@@ -1,0 +1,81 @@
+// Figure 6: click-through-rate prediction with a three-layer fully-connected
+// network (SSI) on KDD12-like data — AUC vs time for different communication
+// batch sizes, 8 ranks, model averaging per layer, vs single-rank SGD.
+//
+// Paper: cb=15000 -> 1.13x, cb=20000 -> 1.5x, cb=25000 -> 1.24x to the AUC
+// 0.7 goal — i.e. a *modest* speedup with a best-of-sweep interior cb,
+// because SSI is non-convex (whole-model synchronization required) and text
+// models are communication-heavy. Our cb values are scaled to the smaller
+// synthetic shard (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/nn_app.h"
+#include "src/base/flags.h"
+#include "src/ml/dataset.h"
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 8, "parallel model replicas"));
+  const int serial_epochs = static_cast<int>(flags.GetInt("serial_epochs", 8, ""));
+  const int parallel_epochs = static_cast<int>(flags.GetInt("parallel_epochs", 20, ""));
+  flags.Finish();
+
+  malt::PrintFigureHeader(
+      "Figure 6", "KDD12 CTR, 3-layer NN (SSI): AUC vs time, cb sweep, 8 ranks, modelavg",
+      "modest speedup to AUC goal, best at the middle cb (paper: 1.13x/1.5x/1.24x for "
+      "cb=15k/20k/25k)");
+
+  malt::ClassificationConfig data_cfg = malt::KddLike();
+  data_cfg.train_n = 24000;  // 8 ranks x 3000-example shards
+  malt::SparseDataset data = malt::MakeClassification(data_cfg);
+
+  malt::NnAppConfig config;
+  config.data = &data;
+  config.evals_per_epoch = 2;
+  config.mlp.hidden1 = 32;  // scaled with the dataset (paper: SSI-sized layers)
+  config.mlp.hidden2 = 16;
+  config.mixing = malt::NnAppConfig::Mixing::kModelAvg;
+
+  malt::MaltOptions serial_opts;
+  serial_opts.ranks = 1;
+  malt::NnAppConfig serial_cfg = config;
+  serial_cfg.epochs = serial_epochs;
+  serial_cfg.cb_size = 1 << 30;  // single rank: no communication
+  serial_cfg.mlp.eta = 0.02f;
+  malt::NnRunResult serial = malt::RunNn(serial_opts, serial_cfg);
+  malt::Series s0 = serial.auc_vs_time;
+  s0.label = "single-rank-SGD";
+  std::printf("# label seconds test-AUC\n");
+  malt::PrintCurveSampled(s0, 15);
+
+  // Fixed AUC goal as in the paper (they use 0.7); parallel replicas mix
+  // whole models (non-convex) with the linear-scaling learning rate.
+  const double goal = 0.70;
+  const double t_serial = malt::TimeToTargetRising(serial.auc_vs_time, goal);
+  std::printf("# AUC goal %.2f (single-rank: %.3fs)\n", goal, t_serial);
+
+  for (int cb : {250, 375, 750}) {  // scaled analogs of the paper's 15k/20k/25k
+    malt::MaltOptions opts;
+    opts.ranks = ranks;
+    opts.sync = malt::SyncMode::kBSP;
+    malt::NnAppConfig run_cfg = config;
+    run_cfg.epochs = parallel_epochs;
+    run_cfg.cb_size = cb;
+    run_cfg.mlp.eta = 0.16f;
+    malt::NnRunResult result = malt::RunNn(opts, run_cfg);
+    malt::Series s = result.auc_vs_time;
+    s.label = "cb=" + std::to_string(cb);
+    malt::PrintCurveSampled(s, 15);
+    const double t = malt::TimeToTargetRising(result.auc_vs_time, goal);
+    std::printf("speedup cb=%d %.2fx (final AUC %.4f, %.3fs to goal)\n", cb,
+                malt::SafeSpeedup(t_serial, t), result.final_auc, t);
+  }
+
+  malt::PrintResult("scaled cb sweep above; speedups are modest (~1x) because fully "
+                    "connected layers make communication+fold costs dominate, the paper's "
+                    "own conclusion for SSI (its best case was 1.5x)");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 7: matrix factorization on Netflix-like ratings — test RMSE vs
+// ratings processed, trained asynchronously on 2 ranks with the *replace*
+// gather (distributed Hogwild), for the fixed and by-iteration learning-rate
+// schedules, against single-rank SGD with the fixed schedule.
+//
+// Paper: both distributed schedules reach the RMSE goal with fewer
+// per-machine iterations than single-rank SGD (1.9x fixed, 1.5x byiter);
+// input is sorted by movie and split across ranks to avoid conflicting
+// (user, movie) updates. Also reports seconds per epoch (the paper compares
+// 26 s/epoch on MALT vs 96 s for Sparkler and 594 s for Spark).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/mf_app.h"
+#include "src/base/flags.h"
+#include "src/ml/dataset.h"
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 2, "parallel replicas"));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 12, "training epochs"));
+  const int cb = static_cast<int>(flags.GetInt("cb", 1000, "ratings per comm round"));
+  flags.Finish();
+
+  malt::PrintFigureHeader(
+      "Figure 7", "Netflix MF: test RMSE vs iterations (async, replace gather, 2 ranks)",
+      "MALT-fixed reaches the RMSE goal 1.9x faster by iterations than single-rank SGD; "
+      "MALT-byiter 1.5x; item-sorted split avoids Hogwild conflicts");
+
+  malt::RatingsDataset data = malt::MakeRatings(malt::RatingsConfig{});
+
+  malt::MfAppConfig config;
+  config.data = &data;
+  config.epochs = epochs;
+  config.cb_size = cb;
+  config.evals_per_epoch = 4;
+  config.sort_by_item = true;
+
+  // Single-rank baseline, fixed learning rate.
+  malt::MaltOptions serial_opts;
+  serial_opts.ranks = 1;
+  malt::MfRunResult serial = malt::RunMf(serial_opts, config);
+
+  // 2 ranks, async, fixed rate.
+  malt::MaltOptions par_opts;
+  par_opts.ranks = ranks;
+  par_opts.sync = malt::SyncMode::kASP;
+  malt::MfRunResult fixed = malt::RunMf(par_opts, config);
+
+  // 2 ranks, async, by-iteration decay.
+  malt::MfAppConfig byiter_cfg = config;
+  byiter_cfg.mf.schedule = malt::MfOptions::Schedule::kByIter;
+  byiter_cfg.mf.decay_steps = 40000;
+  malt::MaltOptions par_opts2;
+  par_opts2.ranks = ranks;
+  par_opts2.sync = malt::SyncMode::kASP;
+  malt::MfRunResult byiter = malt::RunMf(par_opts2, byiter_cfg);
+
+  malt::Series s0 = serial.rmse_vs_ratings;
+  s0.label = "SGD-fixed(1rank)";
+  malt::Series s1 = fixed.rmse_vs_ratings;
+  s1.label = "MALT-fixed";
+  malt::Series s2 = byiter.rmse_vs_ratings;
+  s2.label = "MALT-byiter";
+  std::printf("# label per-rank-ratings test-RMSE\n");
+  malt::PrintCurveSampled(s0, 15);
+  malt::PrintCurveSampled(s1, 15);
+  malt::PrintCurveSampled(s2, 15);
+
+  // Goal: what the parallel runs reach (paper: RMSE 0.94 on Netflix).
+  const double goal = std::max(fixed.final_rmse, byiter.final_rmse) * 1.005;
+  const double it_serial = malt::TimeToTarget(serial.rmse_vs_ratings, goal);
+  const double it_fixed = malt::TimeToTarget(fixed.rmse_vs_ratings, goal);
+  const double it_byiter = malt::TimeToTarget(byiter.rmse_vs_ratings, goal);
+  std::printf("seconds_per_epoch MALT-fixed %.4f\n", fixed.seconds_per_epoch);
+  malt::PrintResult(
+      "RMSE goal %.4f: per-rank ratings to goal — single %.0f, MALT-fixed %.0f (%.1fx), "
+      "MALT-byiter %.0f (%.1fx); final RMSE %.4f/%.4f/%.4f",
+      goal, it_serial, it_fixed, malt::SafeSpeedup(it_serial, it_fixed), it_byiter,
+      malt::SafeSpeedup(it_serial, it_byiter), serial.final_rmse, fixed.final_rmse,
+      byiter.final_rmse);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 11: RCV1 convergence for MALT_all vs MALT_Halton across
+// communication batch sizes (cb in {1000, 5000, 10000}), BSP gradient
+// averaging, 10 ranks — loss vs time plus speedup over single-rank SGD.
+//
+// Paper: all: 5.2x/6.7x/5.5x and Halton: 5.9x/8.1x/5.7x for
+// cb=1000/5000/10000 — Halton beats all-to-all at every cb even though it
+// converges slightly slower per iteration, because each round sends to and
+// folds from only log(N) peers.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/apps/svm_app.h"
+#include "src/base/flags.h"
+#include "src/ml/dataset.h"
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 10, "parallel replicas"));
+  const int serial_epochs = static_cast<int>(flags.GetInt("serial_epochs", 10, ""));
+  const int parallel_epochs = static_cast<int>(flags.GetInt("parallel_epochs", 24, ""));
+  flags.Finish();
+
+  malt::PrintFigureHeader(
+      "Figure 11", "RCV1: MALT_all vs MALT_Halton, cb in {1000,5000,10000}, BSP gradavg",
+      "speedup over single-rank SGD peaks at cb=5000; Halton faster than all at every cb "
+      "(paper: all 5.2/6.7/5.5x, Halton 5.9/8.1/5.7x)");
+
+  malt::SparseDataset data = malt::MakeClassification(malt::Rcv1Like());
+
+  malt::SvmAppConfig config;
+  config.data = &data;
+  config.average = malt::SvmAppConfig::Average::kGradient;
+  config.model_sync_every = 3;  // Halton relies on model rounds to disseminate
+  config.evals_per_epoch = 8;
+
+  malt::MaltOptions serial_opts;
+  serial_opts.ranks = 1;
+  config.epochs = serial_epochs;
+  config.cb_size = 5000;
+  malt::SvmRunResult serial = malt::RunSvm(serial_opts, config);
+  std::printf("# label seconds loss\n");
+  {
+    malt::Series s = serial.loss_vs_time;
+    s.label = "single-rank-SGD";
+    malt::PrintCurveSampled(s, 12);
+  }
+
+  // Run the six parallel configurations first, then fix one common goal that
+  // every run reaches: the worst best-achieved loss across the sweep (also
+  // no deeper than the single-rank final, per the paper's goal-setting).
+  struct RunOut {
+    std::string label;
+    malt::SvmRunResult result;
+    double best = 1e9;
+  };
+  std::vector<RunOut> runs;
+  config.epochs = parallel_epochs;
+  for (malt::GraphKind kind : {malt::GraphKind::kAll, malt::GraphKind::kHalton}) {
+    for (int cb : {1000, 5000, 10000}) {
+      malt::MaltOptions opts;
+      opts.ranks = ranks;
+      opts.sync = malt::SyncMode::kBSP;
+      opts.graph = kind;
+      config.cb_size = cb;
+      RunOut out;
+      out.label = malt::ToString(kind) + "-cb" + std::to_string(cb);
+      out.result = malt::RunSvm(opts, config);
+      for (double y : out.result.loss_vs_time.y) {
+        out.best = std::min(out.best, y);
+      }
+      malt::Series s = out.result.loss_vs_time;
+      s.label = out.label;
+      malt::PrintCurveSampled(s, 10);
+      runs.push_back(std::move(out));
+    }
+  }
+  double goal = serial.final_loss;
+  for (const RunOut& out : runs) {
+    goal = std::max(goal, out.best);
+  }
+  goal *= 1.003;
+  const double t_serial = malt::TimeToTarget(serial.loss_vs_time, goal);
+  std::printf("# goal loss %.4f; single-rank time %.4fs\n", goal, t_serial);
+  std::printf("# graph-cb time_to_goal speedup final_loss\n");
+  for (const RunOut& out : runs) {
+    const double t = malt::TimeToTarget(out.result.loss_vs_time, goal);
+    std::printf("speedup %s %.4f %.1fx %.4f\n", out.label.c_str(), t,
+                malt::SafeSpeedup(t_serial, t), out.result.final_loss);
+  }
+  malt::PrintResult(
+      "see 'speedup' rows. Known deviation: with the sum fold (needed for any speedup over "
+      "single-rank SGD, DESIGN.md sect. 7) all-to-all integrates 10 shards per round vs "
+      "Halton's log(N), so Halton trails in time-to-goal here; the paper's Halton time win "
+      "appears in our async/straggler run (Figure 12) and its traffic win in Figure 13.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 12: splice-site — BSP all-to-all vs ASYNC all-to-all vs ASYNC
+// Halton, 8 ranks, model averaging; loss vs time and per-node bytes sent.
+//
+// Paper: ASYNC-all reaches the goal 6x faster than BSP-all and ASYNC-Halton
+// 11x; until convergence each MALT_all node sent 370 GB vs 34 GB for
+// MALT_Halton (~10x traffic saving at equal accuracy).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/svm_app.h"
+#include "src/base/flags.h"
+#include "src/ml/dataset.h"
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 8, "parallel replicas"));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 10, "training epochs"));
+  const int cb = static_cast<int>(flags.GetInt("cb", 1000, "communication batch"));
+  const double spike = flags.GetDouble("spike_factor", 8.0, "transient straggler slowdown");
+  const double spike_prob = flags.GetDouble("spike_prob", 0.12, "per-batch spike probability");
+  flags.Finish();
+
+  malt::PrintFigureHeader(
+      "Figure 12", "splice-site: BSP-all vs ASYNC-all vs ASYNC-Halton (8 ranks, modelavg)",
+      "ASYNC-all ~6x and ASYNC-Halton ~11x faster than BSP-all to the goal; Halton sends "
+      "~10x fewer bytes per node");
+
+  malt::SparseDataset data = malt::MakeClassification(malt::SpliceLike());
+
+  malt::SvmAppConfig config;
+  config.data = &data;
+  config.epochs = epochs;
+  config.cb_size = cb;
+  config.average = malt::SvmAppConfig::Average::kModel;
+  config.evals_per_epoch = 4;
+  config.compute_jitter = 0.2;
+  config.spike_prob = spike_prob;
+  config.spike_factor = spike;
+  config.asp_skip_stale = 8;
+
+  struct Setup {
+    const char* name;
+    malt::SyncMode sync;
+    malt::GraphKind graph;
+  };
+  const Setup setups[] = {
+      {"BSP-all", malt::SyncMode::kBSP, malt::GraphKind::kAll},
+      {"ASYNC-all", malt::SyncMode::kASP, malt::GraphKind::kAll},
+      {"ASYNC-Halton", malt::SyncMode::kASP, malt::GraphKind::kHalton},
+  };
+
+  std::printf("# label seconds test-hinge-loss\n");
+  double time_to_goal[3] = {0, 0, 0};
+  double node_mb[3] = {0, 0, 0};
+  double goal = 0;
+  std::vector<malt::SvmRunResult> results;
+  for (const Setup& setup : setups) {
+    malt::MaltOptions opts;
+    opts.ranks = ranks;
+    opts.sync = setup.sync;
+    opts.graph = setup.graph;
+    results.push_back(malt::RunSvm(opts, config));
+    goal = std::max(goal, results.back().final_loss);
+  }
+  goal *= 1.002;
+  for (size_t i = 0; i < results.size(); ++i) {
+    malt::Series s = results[i].loss_vs_time;
+    s.label = setups[i].name;
+    malt::PrintCurveSampled(s, 12);
+    malt::AsciiSparkline(s);
+    time_to_goal[i] = malt::TimeToTarget(results[i].loss_vs_time, goal);
+    node_mb[i] = static_cast<double>(results[i].total_bytes) / ranks / 1e6;
+    std::printf("row %s time_to_goal=%.3fs bytes_per_node=%.1fMB final=%.4f\n",
+                setups[i].name, time_to_goal[i], node_mb[i], results[i].final_loss);
+  }
+  malt::PrintResult(
+      "goal %.4f: ASYNC-all %.1fx and ASYNC-Halton %.1fx faster than BSP-all; Halton ships "
+      "%.1fx fewer bytes/node than all-to-all",
+      goal, malt::SafeSpeedup(time_to_goal[0], time_to_goal[1]),
+      malt::SafeSpeedup(time_to_goal[0], time_to_goal[2]), node_mb[1] / node_mb[2]);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 13: total network traffic for the webspam workload — MALT_all vs
+// MALT_Halton vs the parameter server, as the number of ranks grows
+// (2, 4, 10, 20), BSP gradient averaging, cb=5000-equivalent.
+//
+// Paper: MALT sends and receives (sparse) gradients, so Halton is the most
+// network-efficient; the PS sends gradients up but must pull whole dense
+// models down; all-to-all grows O(N^2) and dominates at 20 ranks.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/svm_app.h"
+#include "src/base/flags.h"
+#include "src/baselines/param_server.h"
+#include "src/ml/dataset.h"
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 2, "epochs per configuration"));
+  const int cb = static_cast<int>(flags.GetInt("cb", 500, "communication batch"));
+  flags.Finish();
+
+  malt::PrintFigureHeader(
+      "Figure 13", "webspam total network traffic: all vs Halton vs parameter server",
+      "all-to-all grows O(N^2); PS ships whole models down; Halton (sparse gradients to "
+      "log N peers) is the most network-efficient at scale");
+
+  malt::SparseDataset data = malt::MakeClassification(malt::WebspamLike());
+
+  std::printf("# ranks all_MB halton_MB ps_MB\n");
+  double last[3] = {0, 0, 0};
+  for (int ranks : {2, 4, 10, 20}) {
+    double mb[3] = {0, 0, 0};
+    int idx = 0;
+    for (malt::GraphKind kind : {malt::GraphKind::kAll, malt::GraphKind::kHalton}) {
+      malt::SvmAppConfig config;
+      config.data = &data;
+      config.epochs = epochs;
+      config.cb_size = cb;
+      config.average = malt::SvmAppConfig::Average::kGradient;
+      config.sparse_gradients = true;
+      config.evals_per_epoch = 1;
+      malt::MaltOptions opts;
+      opts.ranks = ranks;
+      opts.sync = malt::SyncMode::kBSP;
+      opts.graph = kind;
+      opts.queue_depth = 2;
+      malt::SvmRunResult r = malt::RunSvm(opts, config);
+      mb[idx++] = static_cast<double>(r.total_bytes) / 1e6;
+    }
+    {
+      malt::PsSvmConfig config;
+      config.data = &data;
+      config.epochs = epochs;
+      config.cb_size = cb;
+      config.push = malt::PsSvmConfig::Push::kGradient;
+      config.sparse_push = true;
+      config.evals_per_epoch = 1;
+      malt::MaltOptions opts;
+      opts.ranks = ranks + 1;  // same number of *training* replicas + server
+      opts.queue_depth = 2;
+      malt::PsRunResult r = malt::RunPsSvm(opts, config);
+      mb[2] = static_cast<double>(r.total_bytes) / 1e6;
+    }
+    std::printf("traffic %d %.1f %.1f %.1f\n", ranks, mb[0], mb[1], mb[2]);
+    last[0] = mb[0];
+    last[1] = mb[1];
+    last[2] = mb[2];
+  }
+  malt::PrintResult(
+      "at 20 ranks: all %.0f MB, Halton %.0f MB, PS %.0f MB — all/Halton = %.1fx, "
+      "PS/Halton = %.1fx",
+      last[0], last[1], last[2], last[0] / last[1], last[2] / last[1]);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Developer-specified dataflow (§3.4): the paper lets applications pass an
+// arbitrary (connected) graph describing which replicas exchange updates.
+// This example trains the same workload over four dataflows — all-to-all,
+// Halton, ring, and a custom two-cluster graph with a bridge — and compares
+// traffic and convergence, plus a fine-grained ScatterTo to a chosen subset.
+//
+//   ./custom_dataflow --ranks=6
+
+#include <cstdio>
+
+#include "src/apps/svm_app.h"
+#include "src/base/flags.h"
+#include "src/comm/graph.h"
+#include "src/ml/dataset.h"
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 6, "number of model replicas"));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 6, "training epochs"));
+  flags.Finish();
+
+  malt::ClassificationConfig data_config;
+  data_config.dim = 4000;
+  data_config.train_n = 24000;
+  data_config.test_n = 1000;
+  data_config.avg_nnz = 50;
+  malt::SparseDataset data = malt::MakeClassification(data_config);
+
+  malt::SvmAppConfig config;
+  config.data = &data;
+  config.epochs = epochs;
+  config.cb_size = 1000;
+  config.evals_per_epoch = 1;
+
+  // Two triangles bridged by one edge pair — e.g. two racks with one uplink.
+  // GraphFromSpec validates strong connectivity (a disconnected dataflow
+  // would let the replicas diverge).
+  const std::string spec = "0>1,1>2,2>0,3>4,4>5,5>3,2>3,3>2";
+
+  std::printf("# dataflow final_loss virtual_seconds network_MB\n");
+  struct Setup {
+    const char* name;
+    malt::GraphKind kind;
+  };
+  for (const Setup& setup : {Setup{"all-to-all", malt::GraphKind::kAll},
+                             Setup{"halton", malt::GraphKind::kHalton},
+                             Setup{"ring", malt::GraphKind::kRing},
+                             Setup{"two-racks", malt::GraphKind::kCustom}}) {
+    malt::MaltOptions options;
+    options.ranks = ranks;
+    options.sync = malt::SyncMode::kBSP;
+    options.graph = setup.kind;
+    options.graph_spec = spec;
+    malt::SvmRunResult r = malt::RunSvm(options, config);
+    std::printf("%s %.4f %.4f %.1f\n", setup.name, r.final_loss, r.seconds_total,
+                static_cast<double>(r.total_bytes) / 1e6);
+  }
+
+  // Fine-grained per-call dataflow: rank 0 pushes only to a chosen subset
+  // (the scatter(dataflow) overload from Table 1).
+  malt::MaltOptions options;
+  options.ranks = ranks;
+  malt::Malt malt(options);
+  malt.Run([&](malt::Worker& w) {
+    malt::MaltVector v = w.CreateVector("v", 8);
+    if (w.rank() == 0) {
+      v.data()[0] = 42.0f;
+      const std::vector<int> subset = {1, ranks - 1};
+      (void)v.ScatterTo(subset);  // push to two replicas only
+      (void)w.dstorm().Flush();
+    }
+    (void)w.Barrier();
+    const int got = v.GatherSum().received;
+    std::printf("rank %d received %d update(s)%s\n", w.rank(), got,
+                got > 0 ? " (chosen by rank 0's ScatterTo)" : "");
+  });
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Using dstorm directly with an opaque data structure (paper §4, last
+// paragraph): "for such opaque representations, developers directly use
+// dstorm ... the opaque data-structures need to provide serialization/
+// de-serialization methods."
+//
+// The application is distributed k-means (the paper lists k-means among the
+// gradient-descent family §2): each replica assigns its shard of points to
+// the nearest centroid, then exchanges per-centroid partial sums as a
+// custom-serialized struct over a raw dstorm segment — no MaltVector.
+//
+//   ./kmeans_raw_dstorm --ranks=4 --k=5 --iters=10
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/base/rng.h"
+#include "src/comm/graph.h"
+#include "src/core/runtime.h"
+
+namespace {
+
+constexpr int kDims = 2;
+
+// The "legacy" application type: per-centroid partial statistics.
+struct CentroidStats {
+  double sum[kDims];
+  int64_t count;
+};
+
+// Serialization contract for dstorm (copy-in/copy-out, paper §4).
+size_t WireBytes(int k) { return static_cast<size_t>(k) * sizeof(CentroidStats); }
+
+void Serialize(const std::vector<CentroidStats>& stats, std::byte* out) {
+  std::memcpy(out, stats.data(), stats.size() * sizeof(CentroidStats));
+}
+
+void Deserialize(std::span<const std::byte> in, std::vector<CentroidStats>* out) {
+  out->resize(in.size() / sizeof(CentroidStats));
+  std::memcpy(out->data(), in.data(), in.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  malt::MaltOptions options;
+  options.ranks = static_cast<int>(flags.GetInt("ranks", 4, "number of replicas"));
+  const int k = static_cast<int>(flags.GetInt("k", 5, "clusters"));
+  const int iters = static_cast<int>(flags.GetInt("iters", 10, "Lloyd iterations"));
+  const int points_n = static_cast<int>(flags.GetInt("points", 20000, "total points"));
+  flags.Finish();
+
+  // Synthetic mixture: k well-separated Gaussian blobs.
+  malt::Xoshiro256 rng(7);
+  std::vector<std::array<double, kDims>> centers(static_cast<size_t>(k));
+  for (auto& c : centers) {
+    for (double& x : c) {
+      x = rng.NextDouble() * 20.0 - 10.0;
+    }
+  }
+  std::vector<std::array<double, kDims>> points(static_cast<size_t>(points_n));
+  for (auto& p : points) {
+    const auto& c = centers[rng.NextBounded(static_cast<uint64_t>(k))];
+    for (int d = 0; d < kDims; ++d) {
+      p[static_cast<size_t>(d)] = c[static_cast<size_t>(d)] + rng.NextGaussian() * 0.5;
+    }
+  }
+
+  std::vector<std::array<double, kDims>> final_centroids(static_cast<size_t>(k));
+  malt::Malt malt(options);
+  malt.Run([&](malt::Worker& w) {
+    // Raw dstorm segment carrying the opaque struct array.
+    malt::SegmentOptions seg_opts;
+    seg_opts.obj_bytes = WireBytes(k);
+    seg_opts.graph = malt::AllToAllGraph(w.world());
+    const malt::SegmentId seg = w.dstorm().CreateSegment(seg_opts);
+
+    // Same deterministic initial centroids everywhere.
+    std::vector<std::array<double, kDims>> centroids(static_cast<size_t>(k));
+    malt::Xoshiro256 init(99);
+    for (auto& c : centroids) {
+      for (double& x : c) {
+        x = init.NextDouble() * 20.0 - 10.0;
+      }
+    }
+
+    const malt::Worker::Shard shard = w.ShardRange(points.size());
+    std::vector<CentroidStats> stats(static_cast<size_t>(k));
+    std::vector<std::byte> wire(WireBytes(k));
+    std::vector<CentroidStats> incoming;
+
+    for (int iter = 0; iter < iters; ++iter) {
+      // Local assignment pass over my shard.
+      for (auto& s : stats) {
+        s = CentroidStats{};
+      }
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        int best = 0;
+        double best_d2 = 1e300;
+        for (int c = 0; c < k; ++c) {
+          double d2 = 0;
+          for (int d = 0; d < kDims; ++d) {
+            const double diff =
+                points[i][static_cast<size_t>(d)] - centroids[static_cast<size_t>(c)][static_cast<size_t>(d)];
+            d2 += diff * diff;
+          }
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = c;
+          }
+        }
+        for (int d = 0; d < kDims; ++d) {
+          stats[static_cast<size_t>(best)].sum[d] += points[i][static_cast<size_t>(d)];
+        }
+        stats[static_cast<size_t>(best)].count += 1;
+      }
+      w.ChargeFlops(static_cast<double>(shard.size()) * k * kDims * 3);
+
+      // Exchange the opaque stats: serialize -> scatter -> gather -> merge.
+      Serialize(stats, wire.data());
+      (void)w.dstorm().Scatter(seg, wire, static_cast<uint32_t>(iter + 1));
+      (void)w.dstorm().Flush();
+      (void)w.Barrier();
+      w.dstorm().Gather(seg, [&](const malt::RecvObject& obj) {
+        Deserialize(obj.bytes, &incoming);
+        for (int c = 0; c < k; ++c) {
+          for (int d = 0; d < kDims; ++d) {
+            stats[static_cast<size_t>(c)].sum[d] += incoming[static_cast<size_t>(c)].sum[d];
+          }
+          stats[static_cast<size_t>(c)].count += incoming[static_cast<size_t>(c)].count;
+        }
+      });
+
+      // Lloyd update on the merged statistics (identical on every replica).
+      for (int c = 0; c < k; ++c) {
+        if (stats[static_cast<size_t>(c)].count > 0) {
+          for (int d = 0; d < kDims; ++d) {
+            centroids[static_cast<size_t>(c)][static_cast<size_t>(d)] =
+                stats[static_cast<size_t>(c)].sum[d] /
+                static_cast<double>(stats[static_cast<size_t>(c)].count);
+          }
+        }
+      }
+    }
+    if (w.rank() == 0) {
+      final_centroids = centroids;
+    }
+  });
+
+  std::printf("recovered %d centroids in %d Lloyd iterations over %d replicas:\n", k, iters,
+              options.ranks);
+  for (const auto& c : final_centroids) {
+    // Distance to the nearest true center shows recovery quality.
+    double best = 1e300;
+    for (const auto& truth : centers) {
+      double d2 = 0;
+      for (int d = 0; d < kDims; ++d) {
+        const double diff = c[static_cast<size_t>(d)] - truth[static_cast<size_t>(d)];
+        d2 += diff * diff;
+      }
+      best = std::min(best, std::sqrt(d2));
+    }
+    std::printf("  (%7.3f, %7.3f)  nearest true center: %.3f away\n", c[0], c[1], best);
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "src/apps/nn_app.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+NnRunResult RunDistributedNn(Malt& malt, const NnAppConfig& config) {
+  MALT_CHECK(config.data != nullptr) << "NnAppConfig.data not set";
+  const SparseDataset& data = *config.data;
+  MlpOptions mlp_opts = config.mlp;
+  mlp_opts.input_dim = data.dim;
+
+  malt.Run([&](Worker& w) {
+    Recorder& rec = w.recorder();
+    const bool is_probe_rank = w.rank() == 0;
+
+    // One vector per layer (the paper: "each layer of parameters is
+    // represented using a separate maltGradient").
+    MaltVector l1 = w.CreateVector("nn_l1", Mlp::Layer1Size(mlp_opts));
+    MaltVector l2 = w.CreateVector("nn_l2", Mlp::Layer2Size(mlp_opts));
+    MaltVector l3 = w.CreateVector("nn_l3", Mlp::Layer3Size(mlp_opts));
+    Mlp mlp(l1.data(), l2.data(), l3.data(), mlp_opts);
+    mlp.Init(w.options().seed);  // identical init on every replica
+
+    // Delta bookkeeping for gradient interleaving: snapshot of each layer at
+    // the last agreement point.
+    const bool use_deltas = config.mixing != NnAppConfig::Mixing::kModelAvg;
+    std::vector<std::vector<float>> snapshots;
+    if (use_deltas) {
+      for (MaltVector* v : {&l1, &l2, &l3}) {
+        snapshots.emplace_back(v->data().begin(), v->data().end());
+      }
+    }
+
+    bool reshard = true;
+    w.monitor().AddRecoveryListener([&reshard](const std::vector<int>&) { reshard = true; });
+
+    Worker::Shard shard;
+    uint32_t batch = 0;
+    int64_t examples_done = 0;
+    int64_t next_eval = 1;
+    int64_t eval_stride = 1;
+
+    auto evaluate = [&] {
+      if (!is_probe_rank) {
+        return;
+      }
+      rec.Record("auc_vs_time", w.now_seconds(), mlp.TestAuc(data.test));
+    };
+
+    const size_t total_params = l1.dim() + l2.dim() + l3.dim();
+
+    auto comm_round = [&] {
+      ++batch;
+      const bool model_round =
+          config.mixing == NnAppConfig::Mixing::kModelAvg ||
+          (config.mixing == NnAppConfig::Mixing::kInterleaved &&
+           batch % static_cast<uint32_t>(std::max(1, config.model_sync_every)) == 0);
+      MaltVector* layers[] = {&l1, &l2, &l3};
+      if (use_deltas && !model_round) {
+        // Convert each layer in place to its delta since the last agreement
+        // point (the snapshot stays put until the deltas are folded back).
+        for (int layer = 0; layer < 3; ++layer) {
+          std::span<float> v = layers[layer]->data();
+          const std::vector<float>& snap = snapshots[static_cast<size_t>(layer)];
+          for (size_t i = 0; i < v.size(); ++i) {
+            v[i] -= snap[i];
+          }
+        }
+        w.ChargeFlops(static_cast<double>(total_params));
+      }
+      for (MaltVector* v : layers) {
+        v->set_iteration(batch);
+        const Status status = v->Scatter();
+        if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+          MALT_LOG_S(kWarning) << "rank " << w.rank() << " NN scatter: " << status.ToString();
+        }
+      }
+      w.ChargeSeconds(6e-7 * static_cast<double>(l1.graph().OutEdges(w.rank()).size()));
+      if (w.options().sync == SyncMode::kBSP) {
+        (void)w.dstorm().Flush();
+        MALT_CHECK(w.Barrier().ok());
+      }
+      int received = 0;
+      if (use_deltas && !model_round) {
+        // Apply own delta plus peers' deltas on top of the snapshot.
+        for (int layer = 0; layer < 3; ++layer) {
+          received += layers[layer]->GatherSum().received;
+          std::span<float> v = layers[layer]->data();
+          std::vector<float>& snap = snapshots[static_cast<size_t>(layer)];
+          for (size_t i = 0; i < v.size(); ++i) {
+            v[i] += snap[i];  // weights = snapshot + summed deltas
+            snap[i] = v[i];
+          }
+        }
+        w.ChargeFlops(2.0 * static_cast<double>(total_params));
+      } else {
+        for (MaltVector* v : layers) {
+          received += v->GatherAverage().received;
+        }
+        if (use_deltas) {
+          for (int layer = 0; layer < 3; ++layer) {
+            std::span<float> v = layers[layer]->data();
+            std::copy(v.begin(), v.end(), snapshots[static_cast<size_t>(layer)].begin());
+          }
+        }
+      }
+      w.ChargeFlops(2.0 * static_cast<double>(total_params) *
+                    (static_cast<double>(received) / 3.0 + 1.0));
+      if (w.options().sync == SyncMode::kSSP) {
+        w.SspWait(l1);
+      }
+      (void)w.monitor().CheckAndRecover();
+    };
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      if (reshard) {
+        shard = w.ShardRange(data.train.size());
+        reshard = false;
+        eval_stride = std::max<int64_t>(
+            1, static_cast<int64_t>(shard.size()) / std::max(1, config.evals_per_epoch));
+        next_eval = examples_done + eval_stride;
+      }
+      double batch_flops = 0;
+      int in_batch = 0;
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        mlp.TrainExample(data.train[i]);
+        batch_flops += mlp.last_step_flops();
+        ++examples_done;
+        ++in_batch;
+        const bool end_of_shard = i + 1 == shard.end;
+        if (in_batch >= config.cb_size || end_of_shard) {
+          w.ChargeFlops(batch_flops);
+          comm_round();
+          in_batch = 0;
+          batch_flops = 0;
+          if (examples_done >= next_eval) {
+            evaluate();
+            next_eval += eval_stride;
+          }
+        }
+      }
+      rec.Count("epochs");
+    }
+    (void)w.dstorm().Flush();
+    if (w.options().sync != SyncMode::kASP) {
+      (void)w.Barrier();
+    }
+    for (MaltVector* v : {&l1, &l2, &l3}) {
+      v->GatherAverage();
+    }
+    evaluate();
+    rec.Set("finish_seconds", w.now_seconds());
+    if (is_probe_rank) {
+      rec.Set("final_auc", mlp.TestAuc(data.test));
+      rec.Set("final_logloss", mlp.TestLogLoss(data.test));
+    }
+  });
+
+  NnRunResult result;
+  const Recorder& rec0 = malt.recorder(0);
+  if (rec0.Has("auc_vs_time")) {
+    result.auc_vs_time = rec0.Get("auc_vs_time");
+  }
+  result.final_auc = rec0.Counter("final_auc");
+  result.final_logloss = rec0.Counter("final_logloss");
+  result.seconds_total = rec0.Counter("finish_seconds");
+  result.total_bytes = malt.traffic().TotalBytes();
+  return result;
+}
+
+NnRunResult RunNn(MaltOptions options, const NnAppConfig& config) {
+  Malt malt(std::move(options));
+  return RunDistributedNn(malt, config);
+}
+
+}  // namespace malt

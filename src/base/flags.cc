@@ -1,0 +1,90 @@
+#include "src/base/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+void Flags::Parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "malt";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      MALT_CHECK(false) << "unexpected argument '" << std::string(arg)
+                        << "' (flags are --name=value)";
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    values_[name] = Entry{value, false};
+  }
+}
+
+const std::string* Flags::Lookup(const std::string& name, const std::string& type,
+                                 const std::string& default_repr, const std::string& help) {
+  usage_.push_back("  --" + name + "=<" + type + ">  (default " + default_repr + ")  " + help);
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return nullptr;
+  }
+  it->second.consumed = true;
+  return &it->second.value;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value, const std::string& help) {
+  const std::string* v = Lookup(name, "int", std::to_string(default_value), help);
+  return v == nullptr ? default_value : std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value, const std::string& help) {
+  const std::string* v = Lookup(name, "float", std::to_string(default_value), help);
+  return v == nullptr ? default_value : std::strtod(v->c_str(), nullptr);
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& default_value,
+                             const std::string& help) {
+  const std::string* v = Lookup(name, "string", default_value, help);
+  return v == nullptr ? default_value : *v;
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value, const std::string& help) {
+  const std::string* v = Lookup(name, "bool", default_value ? "true" : "false", help);
+  if (v == nullptr) {
+    return default_value;
+  }
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+void Flags::Finish() {
+  if (help_requested_) {
+    std::printf("usage: %s [flags]\n", program_.c_str());
+    for (const std::string& line : usage_) {
+      std::printf("%s\n", line.c_str());
+    }
+    std::exit(0);
+  }
+  for (const auto& [name, entry] : values_) {
+    MALT_CHECK(entry.consumed) << "unknown flag --" << name;
+  }
+}
+
+}  // namespace malt

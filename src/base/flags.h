@@ -1,0 +1,53 @@
+// Tiny command-line flag parser for examples and benchmark binaries.
+//
+// Supports --name=value and --name value forms plus --help. Benches must run
+// with no arguments (defaults reproduce the paper figure) but accept
+// overrides for exploration.
+//
+// Usage:
+//   malt::Flags flags;
+//   flags.Parse(argc, argv);
+//   int ranks = flags.GetInt("ranks", 10, "number of model replicas");
+//   flags.Finish();  // handles --help and rejects unknown flags
+
+#ifndef SRC_BASE_FLAGS_H_
+#define SRC_BASE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace malt {
+
+class Flags {
+ public:
+  void Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name, int64_t default_value, const std::string& help = "");
+  double GetDouble(const std::string& name, double default_value, const std::string& help = "");
+  std::string GetString(const std::string& name, const std::string& default_value,
+                        const std::string& help = "");
+  bool GetBool(const std::string& name, bool default_value, const std::string& help = "");
+
+  // Prints usage and exits if --help was passed; aborts on unrecognized flags.
+  void Finish();
+
+ private:
+  struct Entry {
+    std::string value;
+    bool consumed = false;
+  };
+
+  const std::string* Lookup(const std::string& name, const std::string& type,
+                            const std::string& default_repr, const std::string& help);
+
+  std::map<std::string, Entry> values_;
+  std::vector<std::string> usage_;
+  std::string program_;
+  bool help_requested_ = false;
+};
+
+}  // namespace malt
+
+#endif  // SRC_BASE_FLAGS_H_

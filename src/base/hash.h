@@ -1,0 +1,35 @@
+// FNV-1a hashing, used for determinism checks (trace hashes) in tests.
+
+#ifndef SRC_BASE_HASH_H_
+#define SRC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace malt {
+
+class Fnv1a {
+ public:
+  void Mix(const void* data, size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  void MixU64(uint64_t v) { Mix(&v, sizeof(v)); }
+  void MixI64(int64_t v) { Mix(&v, sizeof(v)); }
+  void MixDouble(double v) { Mix(&v, sizeof(v)); }
+  void MixString(std::string_view s) { Mix(s.data(), s.size()); }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace malt
+
+#endif  // SRC_BASE_HASH_H_

@@ -1,0 +1,95 @@
+#include "src/base/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace malt {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: not yet initialized from environment
+std::mutex g_emit_mutex;
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("MALT_LOG_LEVEL");
+  int level = static_cast<int>(LogLevel::kWarning);
+  if (env != nullptr && *env != '\0') {
+    level = std::atoi(env);
+    if (level < 0) {
+      level = 0;
+    }
+    if (level > 4) {
+      level = 4;
+    }
+  }
+  return level;
+}
+
+int CurrentLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = InitLevelFromEnv();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return level;
+}
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kOff:
+      return '?';
+  }
+  return '?';
+}
+
+std::string_view Basename(std::string_view path) {
+  size_t pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(CurrentLevel()); }
+
+bool LogEnabled(LogLevel level) { return static_cast<int>(level) >= CurrentLevel(); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << LevelTag(level) << ' ' << Basename(file) << ':' << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fputs(line.c_str(), stderr);
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "F " << Basename(file) << ':' << line << "] check failed: " << condition << ' ';
+}
+
+FatalMessage::~FatalMessage() {
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fputs(line.c_str(), stderr);
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+}  // namespace malt

@@ -1,0 +1,89 @@
+// Minimal leveled logging.
+//
+// Usage: MALT_LOG_S(kInfo) << "rank " << rank << " joined";
+// The active threshold comes from SetLogLevel() or the MALT_LOG_LEVEL
+// environment variable (0=debug, 1=info, 2=warning, 3=error, 4=off).
+// Output is serialized line-at-a-time so interleaved ranks stay readable.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace malt {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits the line
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Sink for disabled levels: swallows the streamed values.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace malt
+
+// Streaming log: MALT_LOG_S(kInfo) << ...;  guarded by a cheap level check.
+#define MALT_LOG_S(severity)                                        \
+  if (!::malt::LogEnabled(::malt::LogLevel::severity)) {            \
+  } else                                                            \
+    ::malt::LogMessage(::malt::LogLevel::severity, __FILE__, __LINE__)
+
+// Fatal check: always on, aborts with message.
+#define MALT_CHECK(cond)                                                            \
+  if (cond) {                                                                       \
+  } else                                                                            \
+    ::malt::FatalMessage(__FILE__, __LINE__, #cond)
+
+namespace malt {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace malt
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,88 @@
+// Fixed-capacity circular buffer.
+//
+// Used for sender-side work queues and bookkeeping rings. Single-threaded in
+// the simulator (processes are cooperatively scheduled), so no atomics.
+
+#ifndef SRC_BASE_RING_BUFFER_H_
+#define SRC_BASE_RING_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace malt {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : slots_(capacity) { assert(capacity > 0); }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+
+  // Returns false when full.
+  bool TryPush(T value) {
+    if (full()) {
+      return false;
+    }
+    slots_[Wrap(head_ + size_)] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  // Push that evicts the oldest element when full (dstorm overwrite-on-full
+  // semantics). Returns true if an element was evicted.
+  bool PushOverwrite(T value) {
+    if (full()) {
+      slots_[head_] = std::move(value);
+      head_ = Wrap(head_ + 1);
+      return true;
+    }
+    TryPush(std::move(value));
+    return false;
+  }
+
+  // Precondition: !empty().
+  T Pop() {
+    assert(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = Wrap(head_ + 1);
+    --size_;
+    return value;
+  }
+
+  // Precondition: !empty().
+  const T& Front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  // i-th oldest element, 0 <= i < size().
+  const T& At(size_t i) const {
+    assert(i < size_);
+    return slots_[Wrap(head_ + i)];
+  }
+  T& At(size_t i) {
+    assert(i < size_);
+    return slots_[Wrap(head_ + i)];
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  size_t Wrap(size_t i) const { return i % slots_.size(); }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace malt
+
+#endif  // SRC_BASE_RING_BUFFER_H_

@@ -1,0 +1,102 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace malt {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets), buckets_(static_cast<size_t>(buckets), 0) {}
+
+void Histogram::Add(double x) {
+  int idx = static_cast<int>((x - lo_) / width_);
+  idx = std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+  ++buckets_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  const int64_t target = static_cast<int64_t>(p / 100.0 * static_cast<double>(total_ - 1));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return lo_ + (static_cast<double>(i) + 0.5) * width_;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%lld p50=%.3g p90=%.3g p99=%.3g",
+                static_cast<long long>(total_), Percentile(50), Percentile(90), Percentile(99));
+  return buf;
+}
+
+void PrintSeries(const std::string& title, const std::vector<Series>& series) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# series x y\n");
+  for (const Series& s : series) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      std::printf("%s %.6g %.6g\n", s.label.c_str(), s.x[i], s.y[i]);
+    }
+    std::printf("\n");
+  }
+}
+
+double FirstCrossing(const Series& series, double target) {
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series.y[i] <= target) {
+      return series.x[i];
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace malt

@@ -1,0 +1,76 @@
+// Small statistics helpers for metrics and benchmarks.
+
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace malt {
+
+// Welford's online mean/variance.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance; 0 when count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// edge buckets. Used for latency distributions in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t count() const { return total_; }
+  double Percentile(double p) const;  // p in [0, 100]
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t total_ = 0;
+};
+
+// A labelled series of (x, y) points — convergence curves, traffic curves.
+// Benches print these in a uniform gnuplot-friendly format.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void Add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+  size_t size() const { return x.size(); }
+};
+
+// Prints "# <title>" then one "label x y" row per point, series by series.
+void PrintSeries(const std::string& title, const std::vector<Series>& series);
+
+// First x at which y drops to <= target (for loss curves); -1 if never.
+double FirstCrossing(const Series& series, double target);
+
+}  // namespace malt
+
+#endif  // SRC_BASE_STATS_H_

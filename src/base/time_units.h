@@ -1,0 +1,33 @@
+// Virtual-time representation used by the cluster simulator.
+//
+// Simulated time is an integer nanosecond count so that event ordering is
+// exact and runs are reproducible (no floating-point drift in the schedule).
+
+#ifndef SRC_BASE_TIME_UNITS_H_
+#define SRC_BASE_TIME_UNITS_H_
+
+#include <cstdint>
+
+namespace malt {
+
+using SimTime = int64_t;      // absolute virtual time, nanoseconds since start
+using SimDuration = int64_t;  // nanoseconds
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+constexpr SimDuration FromSeconds(double seconds) {
+  return static_cast<SimDuration>(seconds * 1e9);
+}
+
+constexpr SimDuration FromMicros(double micros) {
+  return static_cast<SimDuration>(micros * 1e3);
+}
+
+}  // namespace malt
+
+#endif  // SRC_BASE_TIME_UNITS_H_

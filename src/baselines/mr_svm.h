@@ -1,0 +1,29 @@
+// MR-SVM baseline (paper §6.1, Fig. 5): Zinkevich-style parallel SGD for
+// map-reduce — every replica trains over its whole partition, then models
+// are averaged once per epoch ("one-shot averaging at the end of every
+// epoch", cb = partition size). Implemented over the MALT library itself,
+// exactly as the paper did, so the only difference from MALT-SVM is the
+// communication frequency.
+
+#ifndef SRC_BASELINES_MR_SVM_H_
+#define SRC_BASELINES_MR_SVM_H_
+
+#include "src/apps/svm_app.h"
+
+namespace malt {
+
+// Returns an SvmAppConfig that makes RunDistributedSvm behave like MR-SVM:
+// model averaging with one communication round per epoch.
+inline SvmAppConfig MrSvmConfig(const SparseDataset& data, int ranks, int epochs) {
+  SvmAppConfig config;
+  config.data = &data;
+  config.epochs = epochs;
+  // cb >= the largest shard => exactly one round per epoch per replica.
+  config.cb_size = static_cast<int>(data.train.size() / static_cast<size_t>(ranks)) + 2;
+  config.average = SvmAppConfig::Average::kModel;
+  return config;
+}
+
+}  // namespace malt
+
+#endif  // SRC_BASELINES_MR_SVM_H_

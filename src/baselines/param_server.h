@@ -1,0 +1,59 @@
+// Parameter-server baseline (paper §2, Figs. 9 & 13).
+//
+// Rank 0 is the server; ranks 1..N-1 are workers. A worker trains a batch on
+// its local model copy, pushes its update to the server (gradient/delta, or
+// its whole model in model-averaging mode), then WAITS for the refreshed
+// model before continuing — the wait the paper charges against the PS design
+// (Fig. 9). The server folds each incoming update into the global model and
+// pushes the FULL model back to the contributing worker, which is why the PS
+// moves more bytes than MALT's gradient-only exchange (Fig. 13).
+//
+// Built on exactly the same dstorm/VOL substrate as MALT itself (star
+// dataflow), so the comparison isolates the communication structure.
+
+#ifndef SRC_BASELINES_PARAM_SERVER_H_
+#define SRC_BASELINES_PARAM_SERVER_H_
+
+#include "src/base/stats.h"
+#include "src/core/runtime.h"
+#include "src/ml/dataset.h"
+#include "src/ml/svm.h"
+
+namespace malt {
+
+struct PsSvmConfig {
+  const SparseDataset* data = nullptr;
+  int epochs = 10;
+  int cb_size = 5000;
+  enum class Push {
+    kGradient,  // workers push batch deltas ("PS-grad-avg")
+    kModel,     // workers push whole models ("PS-model-avg")
+  } push = Push::kGradient;
+  SvmOptions svm;
+  int evals_per_epoch = 4;
+  // Workers push sparse deltas when true (models pulled back are always
+  // dense — the PS must return the full model).
+  bool sparse_push = false;
+  size_t sparse_max_nnz = 0;
+  double compute_jitter = 0.25;
+};
+
+struct PsRunResult {
+  Series loss_vs_time;  // evaluated on the server's global model
+  double final_loss = 0;
+  double final_accuracy = 0;
+  double seconds_total = 0;
+  int64_t total_bytes = 0;
+  int64_t total_messages = 0;
+  // Mean per-worker split of virtual time (Fig. 9's compute vs wait bars).
+  double worker_compute_seconds = 0;
+  double worker_wait_seconds = 0;
+};
+
+// options.ranks counts server + workers; options.graph is overridden with
+// the PS star. Requires ranks >= 2.
+PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config);
+
+}  // namespace malt
+
+#endif  // SRC_BASELINES_PARAM_SERVER_H_

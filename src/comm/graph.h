@@ -1,0 +1,87 @@
+// Dataflow graphs describing which replicas send model updates to which.
+//
+// The paper (§3.4) lets developers pick the communication structure when a
+// vector is created: everyone-to-everyone (MALT_all), the network-efficient
+// Halton-sequence scheme with out-degree ~log2(N) (MALT_Halton, Fig. 3), a
+// parameter-server star, or an arbitrary graph — which must be (strongly)
+// connected so that updates disseminate to every node at least indirectly.
+
+#ifndef SRC_COMM_GRAPH_H_
+#define SRC_COMM_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace malt {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n) : out_(static_cast<size_t>(n)), in_(static_cast<size_t>(n)) {}
+
+  int size() const { return static_cast<int>(out_.size()); }
+
+  // Adds edge src -> dst (src pushes updates to dst). Duplicate edges and
+  // self-edges are ignored (a node always has its own local model).
+  void AddEdge(int src, int dst);
+
+  const std::vector<int>& OutEdges(int node) const { return out_[static_cast<size_t>(node)]; }
+  const std::vector<int>& InEdges(int node) const { return in_[static_cast<size_t>(node)]; }
+
+  bool HasEdge(int src, int dst) const;
+  int64_t EdgeCount() const;
+  int MaxOutDegree() const;
+
+  // True if every node can reach every other node following edge directions
+  // (Kosaraju). A disconnected dataflow would let replicas diverge (§3.4).
+  bool StronglyConnected() const;
+
+  // Induced subgraph on `survivors` (relabeled 0..k-1 in survivor order).
+  // Used by fault recovery to rebuild send/receive lists.
+  Graph InducedSubgraph(const std::vector<int>& survivors) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+// --- Builders ---------------------------------------------------------------
+
+// Every node sends to every other node: O(N^2) updates per round (Fig. 2).
+Graph AllToAllGraph(int n);
+
+// The paper's Halton scheme (Fig. 3): node i sends to i + N/2, i + N/4,
+// i + 3N/4, i + N/8, ... (mod N), taking the first ceil(log2(N)) offsets of
+// the base-2 Halton sequence scaled by N. O(N log N) updates per round.
+Graph HaltonGraph(int n);
+
+// Directed ring: i -> (i+1) mod n. Minimal connected dataflow.
+Graph RingGraph(int n);
+
+// Parameter-server star: every worker sends to `server`, server sends to all
+// workers. Used by the baseline in src/baselines.
+Graph ParameterServerGraph(int n, int server);
+
+// Each node sends to k uniformly random distinct peers; retries seeds until
+// the result is strongly connected (k >= 1). Deterministic in `seed`.
+Graph RandomRegularGraph(int n, int k, uint64_t seed);
+
+// Parses "src>dst,src>dst,..." (developer-specified arbitrary dataflow).
+Result<Graph> GraphFromSpec(int n, const std::string& spec);
+
+// --- Halton sequence ---------------------------------------------------------
+
+// i-th element (i >= 1) of the Halton low-discrepancy sequence in base b.
+double HaltonNumber(int64_t index, int base);
+
+// First k scaled offsets floor(N * halton_2(i)), deduplicated, skipping 0.
+std::vector<int> HaltonOffsets(int n, int k);
+
+}  // namespace malt
+
+#endif  // SRC_COMM_GRAPH_H_

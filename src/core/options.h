@@ -1,0 +1,68 @@
+// Configuration for a MALT run: cluster shape, synchronization mode,
+// dataflow, network model, and compute cost model.
+
+#ifndef SRC_CORE_OPTIONS_H_
+#define SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/fault/monitor.h"
+#include "src/simnet/fabric.h"
+
+namespace malt {
+
+// Paper §3 / §6: bulk-synchronous (barrier per batch), fully asynchronous
+// (stale straggler updates skipped), and bounded staleness.
+enum class SyncMode : uint8_t {
+  kBSP = 0,
+  kASP = 1,
+  kSSP = 2,
+};
+
+enum class GraphKind : uint8_t {
+  kAll = 0,        // MALT_all: everyone -> everyone
+  kHalton = 1,     // MALT_Halton: log(N) fan-out
+  kRing = 2,
+  kRandom = 3,
+  kParamServer = 4,
+  kCustom = 5,     // user-supplied edge spec
+};
+
+Result<SyncMode> ParseSyncMode(const std::string& s);
+Result<GraphKind> ParseGraphKind(const std::string& s);
+std::string ToString(SyncMode mode);
+std::string ToString(GraphKind kind);
+
+// Virtual-time cost of computation. Calibrated to one core of the paper's
+// testbed (2.2 GHz Ivy Bridge with SSE: a sparse SGD step streams through
+// memory, sustaining on the order of 1-2 GFLOP/s).
+struct CostModel {
+  double flops_per_sec = 1.5e9;
+  SimDuration loop_overhead = 50;  // per-example bookkeeping, ns
+
+  SimDuration ForFlops(double flops) const {
+    return static_cast<SimDuration>(flops / flops_per_sec * 1e9) + loop_overhead;
+  }
+};
+
+struct MaltOptions {
+  int ranks = 10;
+  SyncMode sync = SyncMode::kBSP;
+  GraphKind graph = GraphKind::kAll;
+  std::string graph_spec;      // for kCustom ("0>1,1>2,...")
+  int random_fanout = 2;       // for kRandom
+  int staleness = 8;           // SSP bound (in communication batches)
+  int queue_depth = 4;
+  uint64_t seed = 42;
+  SimDuration barrier_timeout = FromSeconds(1.0);  // then health check + retry
+  FabricOptions fabric;
+  CostModel cost;
+  FaultMonitorOptions fault;
+};
+
+}  // namespace malt
+
+#endif  // SRC_CORE_OPTIONS_H_

@@ -1,0 +1,216 @@
+#include "src/core/runtime.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+Result<SyncMode> ParseSyncMode(const std::string& s) {
+  if (s == "bsp") {
+    return SyncMode::kBSP;
+  }
+  if (s == "asp" || s == "async") {
+    return SyncMode::kASP;
+  }
+  if (s == "ssp") {
+    return SyncMode::kSSP;
+  }
+  return InvalidArgumentError("unknown sync mode '" + s + "' (bsp|asp|ssp)");
+}
+
+Result<GraphKind> ParseGraphKind(const std::string& s) {
+  if (s == "all") {
+    return GraphKind::kAll;
+  }
+  if (s == "halton") {
+    return GraphKind::kHalton;
+  }
+  if (s == "ring") {
+    return GraphKind::kRing;
+  }
+  if (s == "random") {
+    return GraphKind::kRandom;
+  }
+  if (s == "ps" || s == "paramserver") {
+    return GraphKind::kParamServer;
+  }
+  return InvalidArgumentError("unknown graph '" + s + "' (all|halton|ring|random|ps)");
+}
+
+std::string ToString(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kBSP:
+      return "BSP";
+    case SyncMode::kASP:
+      return "ASYNC";
+    case SyncMode::kSSP:
+      return "SSP";
+  }
+  return "?";
+}
+
+std::string ToString(GraphKind kind) {
+  switch (kind) {
+    case GraphKind::kAll:
+      return "all";
+    case GraphKind::kHalton:
+      return "Halton";
+    case GraphKind::kRing:
+      return "ring";
+    case GraphKind::kRandom:
+      return "random";
+    case GraphKind::kParamServer:
+      return "paramserver";
+    case GraphKind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+// --- Worker ------------------------------------------------------------------
+
+int Worker::world() const { return malt_->options().ranks; }
+
+const MaltOptions& Worker::options() const { return malt_->options(); }
+
+void Worker::ChargeFlops(double flops) { proc_->Advance(options().cost.ForFlops(flops)); }
+
+void Worker::ChargeSeconds(double seconds) { proc_->Advance(FromSeconds(seconds)); }
+
+MaltVector Worker::CreateVector(const std::string& name, size_t dim, Layout layout,
+                                size_t max_nnz) {
+  return CreateVectorWithGraph(name, dim, malt_->dataflow(), layout, max_nnz);
+}
+
+MaltVector Worker::CreateVectorWithGraph(const std::string& name, size_t dim, const Graph& graph,
+                                         Layout layout, size_t max_nnz) {
+  MaltVectorOptions opts;
+  opts.name = name;
+  opts.dim = dim;
+  opts.layout = layout;
+  opts.max_nnz = max_nnz;
+  opts.queue_depth = options().queue_depth;
+  opts.graph = graph;
+  return MaltVector(*dstorm_, std::move(opts));
+}
+
+GradientAccumulator Worker::CreateAccumulator(const std::string& name, size_t dim) {
+  return GradientAccumulator(*dstorm_, name, dim, malt_->dataflow());
+}
+
+Status Worker::Barrier() {
+  Status status = dstorm_->Barrier(options().barrier_timeout);
+  while (status.code() == StatusCode::kDeadlineExceeded) {
+    MALT_LOG_S(kInfo) << "rank " << rank_ << ": barrier timeout; health check";
+    monitor_->HealthCheckAndRecover();
+    status = dstorm_->BarrierResume(options().barrier_timeout);
+  }
+  return status;
+}
+
+Worker::Shard Worker::ShardRange(size_t total) const {
+  // Contiguous split over the current survivor group, in rank order: when a
+  // replica dies, its slice is absorbed by the survivors on re-shard.
+  const std::vector<int> members = dstorm_->GroupMembers();
+  const auto it = std::find(members.begin(), members.end(), rank_);
+  MALT_CHECK(it != members.end()) << "rank " << rank_ << " not in its own group";
+  const size_t position = static_cast<size_t>(it - members.begin());
+  const size_t parts = members.size();
+  const size_t base = total / parts;
+  const size_t extra = total % parts;
+  const size_t begin = position * base + std::min(position, extra);
+  const size_t len = base + (position < extra ? 1 : 0);
+  return Shard{begin, begin + len};
+}
+
+void Worker::SspWait(MaltVector& v) {
+  if (options().sync != SyncMode::kSSP) {
+    return;
+  }
+  const int64_t bound = options().staleness;
+  auto fresh_enough = [this, &v, bound] {
+    // A dead straggler must not stall us forever: MinPeerIteration skips
+    // non-group members, and the predicate re-reads group state.
+    const int64_t min_peer = v.MinPeerIteration();
+    return min_peer >= static_cast<int64_t>(v.iteration()) - bound;
+  };
+  while (!fresh_enough()) {
+    // Stall for a bounded interval waiting for the straggler (paper §6.1),
+    // then re-check health in case it died.
+    if (!proc_->WaitUntilOr(fresh_enough, proc_->now() + options().barrier_timeout)) {
+      monitor_->HealthCheckAndRecover();
+    }
+  }
+}
+
+int Worker::live_ranks() const { return static_cast<int>(dstorm_->GroupMembers().size()); }
+
+// --- Malt ---------------------------------------------------------------------
+
+Graph Malt::BuildDataflow(const MaltOptions& options) {
+  switch (options.graph) {
+    case GraphKind::kAll:
+      return AllToAllGraph(options.ranks);
+    case GraphKind::kHalton:
+      return HaltonGraph(options.ranks);
+    case GraphKind::kRing:
+      return RingGraph(options.ranks);
+    case GraphKind::kRandom:
+      return RandomRegularGraph(options.ranks, options.random_fanout, options.seed);
+    case GraphKind::kParamServer:
+      return ParameterServerGraph(options.ranks, /*server=*/0);
+    case GraphKind::kCustom: {
+      Result<Graph> graph = GraphFromSpec(options.ranks, options.graph_spec);
+      MALT_CHECK(graph.ok()) << "bad --graph_spec: " << graph.status().ToString();
+      return *std::move(graph);
+    }
+  }
+  MALT_CHECK(false) << "unreachable graph kind";
+  __builtin_unreachable();
+}
+
+Malt::Malt(MaltOptions options)
+    : options_(options),
+      engine_(),
+      fabric_(engine_, options.ranks, options.fabric),
+      domain_(engine_, fabric_, options.ranks),
+      dataflow_(BuildDataflow(options)),
+      recorders_(static_cast<size_t>(options.ranks)) {
+  MALT_CHECK(options.ranks >= 1) << "need at least one rank";
+}
+
+void Malt::ScheduleKill(int rank, double at_seconds) {
+  engine_.ScheduleKill(rank, FromSeconds(at_seconds));
+}
+
+void Malt::Run(const std::function<void(Worker&)>& body) {
+  MALT_CHECK(!ran_) << "Malt::Run called twice";
+  ran_ = true;
+  for (int rank = 0; rank < options_.ranks; ++rank) {
+    engine_.AddProcess("rank" + std::to_string(rank), [this, rank, &body](Process& proc) {
+      Worker worker(this, rank);
+      worker.proc_ = &proc;
+      worker.dstorm_ = &domain_.node(rank);
+      worker.dstorm_->Bind(proc);
+      worker.monitor_ = std::make_unique<FaultMonitor>(*worker.dstorm_, options_.fault);
+      worker.recorder_ = &recorders_[static_cast<size_t>(rank)];
+      body(worker);
+      // Tell peers this rank is done with collectives: after failures,
+      // survivors can run different numbers of rounds per epoch, and a
+      // barrier must never wait on a rank that already returned.
+      worker.dstorm_->FinishBarriers();
+    });
+  }
+  engine_.Run();
+}
+
+int Malt::survivors() const {
+  int alive = 0;
+  for (int rank = 0; rank < options_.ranks; ++rank) {
+    alive += engine_.alive(rank) ? 1 : 0;
+  }
+  return alive;
+}
+
+}  // namespace malt

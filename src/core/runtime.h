@@ -1,0 +1,131 @@
+// The MALT runtime: launches N model replicas (simulator processes), wires
+// the fabric / dstorm / fault monitors, and hands each replica a Worker with
+// the paper's developer API (Table 1): create vectors, scatter/gather,
+// barrier, shard data — "write code once, it runs on every replica".
+
+#ifndef SRC_CORE_RUNTIME_H_
+#define SRC_CORE_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/graph.h"
+#include "src/core/options.h"
+#include "src/core/recorder.h"
+#include "src/dstorm/dstorm.h"
+#include "src/fault/monitor.h"
+#include "src/sim/engine.h"
+#include "src/simnet/fabric.h"
+#include "src/vol/accumulator.h"
+#include "src/vol/malt_vector.h"
+
+namespace malt {
+
+class Malt;
+
+// Per-replica handle, valid only inside the worker body.
+class Worker {
+ public:
+  int rank() const { return rank_; }
+  int world() const;
+
+  Process& process() { return *proc_; }
+  Dstorm& dstorm() { return *dstorm_; }
+  FaultMonitor& monitor() { return *monitor_; }
+  Recorder& recorder() { return *recorder_; }
+  const MaltOptions& options() const;
+
+  // Virtual time.
+  SimTime now() const { return proc_->now(); }
+  double now_seconds() const { return ToSeconds(proc_->now()); }
+  // Charges modeled compute time for `flops` floating-point operations.
+  void ChargeFlops(double flops);
+  void ChargeSeconds(double seconds);
+
+  // Creates a shared vector over the run's configured dataflow graph.
+  MaltVector CreateVector(const std::string& name, size_t dim, Layout layout = Layout::kDense,
+                          size_t max_nnz = 0);
+  // Creates a vector with an explicit dataflow (per-vector graphs, e.g. one
+  // per neural-network layer).
+  MaltVector CreateVectorWithGraph(const std::string& name, size_t dim, const Graph& graph,
+                                   Layout layout = Layout::kDense, size_t max_nnz = 0);
+
+  // Creates a NIC-aggregated gradient accumulator over the run's dataflow
+  // (the paper's fetch_and_add future work; see src/vol/accumulator.h).
+  GradientAccumulator CreateAccumulator(const std::string& name, size_t dim);
+
+  // Fault-aware barrier: on timeout, runs a health check, removes dead peers
+  // and re-arms. Returns a non-OK status only on unrecoverable errors.
+  Status Barrier();
+
+  // This replica's contiguous shard of [0, total), computed over the current
+  // survivor group (data of failed replicas is redistributed, §3.3).
+  struct Shard {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t size() const { return end - begin; }
+  };
+  Shard ShardRange(size_t total) const;
+
+  // SSP gate (paper §3.2, Fig. 10): blocks while the slowest live in-neighbor
+  // of `v` lags more than options().staleness behind this replica's own
+  // iteration stamp. No-op under BSP/ASP.
+  void SspWait(MaltVector& v);
+
+  // Number of live replicas (shrinks after failures).
+  int live_ranks() const;
+
+ private:
+  friend class Malt;
+  Worker(Malt* malt, int rank) : malt_(malt), rank_(rank) {}
+
+  Malt* malt_;
+  int rank_;
+  Process* proc_ = nullptr;
+  Dstorm* dstorm_ = nullptr;
+  std::unique_ptr<FaultMonitor> monitor_;
+  Recorder* recorder_ = nullptr;
+};
+
+class Malt {
+ public:
+  explicit Malt(MaltOptions options);
+
+  const MaltOptions& options() const { return options_; }
+  Engine& engine() { return engine_; }
+  Fabric& fabric() { return fabric_; }
+  const TrafficStats& traffic() const { return fabric_.stats(); }
+
+  // The dataflow graph selected by options (what CreateVector uses).
+  const Graph& dataflow() const { return dataflow_; }
+
+  // Schedules a fail-stop kill of `rank` at virtual time `at_seconds`.
+  void ScheduleKill(int rank, double at_seconds);
+
+  // Runs `body` on every rank; returns when all replicas finish (or die).
+  // May be called once.
+  void Run(const std::function<void(Worker&)>& body);
+
+  // Post-run accessors.
+  Recorder& recorder(int rank) { return recorders_[static_cast<size_t>(rank)]; }
+  const std::vector<Recorder>& recorders() const { return recorders_; }
+  bool rank_survived(int rank) const { return engine_.alive(rank); }
+  int survivors() const;
+
+ private:
+  static Graph BuildDataflow(const MaltOptions& options);
+
+  MaltOptions options_;
+  Engine engine_;
+  Fabric fabric_;
+  DstormDomain domain_;
+  Graph dataflow_;
+  std::vector<Recorder> recorders_;
+  bool ran_ = false;
+};
+
+}  // namespace malt
+
+#endif  // SRC_CORE_RUNTIME_H_

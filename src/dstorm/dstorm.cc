@@ -1,0 +1,552 @@
+#include "src/dstorm/dstorm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+namespace {
+
+constexpr size_t kSeqFrontOff = 0;
+constexpr size_t kIterOff = 8;
+constexpr size_t kBytesOff = 12;
+constexpr size_t kPayloadOff = 16;
+
+size_t AlignUp8(size_t v) { return (v + 7) & ~size_t{7}; }
+
+uint64_t LoadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t LoadU32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+void StoreU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+// --- DstormDomain -----------------------------------------------------------
+
+DstormDomain::DstormDomain(Engine& engine, Fabric& fabric, int nodes)
+    : engine_(engine), fabric_(fabric) {
+  nodes_.reserve(static_cast<size_t>(nodes));
+  for (int rank = 0; rank < nodes; ++rank) {
+    nodes_.push_back(
+        std::unique_ptr<Dstorm>(new Dstorm(this, &engine_, &fabric_, rank, nodes)));
+  }
+  // rkey 0 on every node: the barrier counter array; rkey 1: probe scratch.
+  for (int rank = 0; rank < nodes; ++rank) {
+    MrHandle mr = fabric_.RegisterMemory(rank, static_cast<size_t>(nodes) * sizeof(uint64_t));
+    MALT_CHECK(mr.rkey == 0) << "barrier region must be rkey 0";
+    nodes_[static_cast<size_t>(rank)]->barrier_mr_ = mr;
+    MrHandle probe =
+        fabric_.RegisterMemory(rank, static_cast<size_t>(nodes) * sizeof(uint64_t));
+    MALT_CHECK(probe.rkey == 1) << "probe region must be rkey 1";
+    nodes_[static_cast<size_t>(rank)]->probe_mr_ = probe;
+  }
+}
+
+// --- Dstorm -----------------------------------------------------------------
+
+Dstorm::Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world)
+    : domain_(domain),
+      engine_(engine),
+      fabric_(fabric),
+      rank_(rank),
+      world_(world),
+      group_member_(static_cast<size_t>(world), true),
+      peer_failed_(static_cast<size_t>(world), false) {}
+
+size_t Dstorm::SlotOffset(const Segment& s, int sender_pos, int slot) const {
+  return (static_cast<size_t>(sender_pos) * static_cast<size_t>(s.options.queue_depth) +
+          static_cast<size_t>(slot)) *
+         s.slot_stride;
+}
+
+SegmentId Dstorm::CreateSegment(const SegmentOptions& options) {
+  MALT_CHECK(options.obj_bytes > 0) << "segment object size must be positive";
+  MALT_CHECK(options.queue_depth >= 1) << "queue depth must be >= 1";
+  MALT_CHECK(options.graph.size() == world_)
+      << "dataflow graph size " << options.graph.size() << " != world " << world_;
+
+  // Segment ids are assigned by per-node call order; the collective contract
+  // is that every node creates the same segments in the same order. (The id
+  // cannot come from segments_.size(): the first creator materializes the
+  // segment on every node, so peers' lists grow before their own call.)
+  const SegmentId seg_id = created_count_++;
+  const size_t stride = AlignUp8(kPayloadOff + options.obj_bytes + sizeof(uint64_t));
+
+  // Collective registry: the first caller defines the spec and registers the
+  // receive region on *every* node (the paper's synchronous segment
+  // creation), so remote-key layout is identical cluster-wide.
+  if (static_cast<size_t>(seg_id) >= domain_->specs_.size()) {
+    DstormDomain::SegmentSpec spec;
+    spec.options = options;
+    domain_->specs_.push_back(spec);
+    for (int node = 0; node < world_; ++node) {
+      // Receive space: one queue per in-neighbor only (a star topology's
+      // leaves keep just one queue instead of world-many).
+      const size_t in_degree = options.graph.InEdges(node).size();
+      const size_t region_bytes =
+          in_degree * static_cast<size_t>(options.queue_depth) * stride;
+      MrHandle mr = fabric_->RegisterMemory(node, region_bytes);
+      MALT_CHECK(mr.rkey == static_cast<uint32_t>(seg_id) + 2)
+          << "segment rkey layout diverged on node " << node;
+      if (!fabric_->NodeAlive(node)) {
+        fabric_->DeregisterMemory(mr);
+      }
+      domain_->nodes_[static_cast<size_t>(node)]->segments_.push_back(Segment{});
+      Segment& s = domain_->nodes_[static_cast<size_t>(node)]->segments_.back();
+      s.options = options;
+      s.recv_mr = mr;
+      s.slot_stride = stride;
+      s.sender_pos_at.assign(static_cast<size_t>(world_), -1);
+      for (int dst = 0; dst < world_; ++dst) {
+        const auto& in_edges = options.graph.InEdges(dst);
+        for (size_t pos = 0; pos < in_edges.size(); ++pos) {
+          if (in_edges[pos] == node) {
+            s.sender_pos_at[static_cast<size_t>(dst)] = static_cast<int>(pos);
+            break;
+          }
+        }
+      }
+      s.next_send_seq.assign(static_cast<size_t>(world_), 0);
+      s.next_send_slot.assign(static_cast<size_t>(world_), 0);
+      s.last_consumed.assign(static_cast<size_t>(world_), 0);
+    }
+  } else {
+    const DstormDomain::SegmentSpec& spec = domain_->specs_[static_cast<size_t>(seg_id)];
+    MALT_CHECK(spec.options.obj_bytes == options.obj_bytes &&
+               spec.options.queue_depth == options.queue_depth)
+        << "collective CreateSegment called with mismatched options on rank " << rank_;
+  }
+  ++domain_->specs_[static_cast<size_t>(seg_id)].creators;
+  return seg_id;
+}
+
+SegmentId Dstorm::CreateAccumulator(size_t dim, const Graph& graph) {
+  MALT_CHECK(dim > 0) << "accumulator needs dim > 0";
+  MALT_CHECK(graph.size() == world_) << "accumulator graph size mismatch";
+  const SegmentId seg_id = created_count_++;
+  // Region: dim sum floats + 1 contribution-count float.
+  const size_t region_bytes = (dim + 1) * sizeof(float);
+
+  if (static_cast<size_t>(seg_id) >= domain_->specs_.size()) {
+    DstormDomain::SegmentSpec spec;
+    spec.options.obj_bytes = dim * sizeof(float);
+    spec.options.graph = graph;
+    domain_->specs_.push_back(spec);
+    for (int node = 0; node < world_; ++node) {
+      MrHandle mr = fabric_->RegisterMemory(node, region_bytes);
+      MALT_CHECK(mr.rkey == static_cast<uint32_t>(seg_id) + 2)
+          << "segment rkey layout diverged on node " << node;
+      if (!fabric_->NodeAlive(node)) {
+        fabric_->DeregisterMemory(mr);
+      }
+      domain_->nodes_[static_cast<size_t>(node)]->segments_.push_back(Segment{});
+      Segment& s = domain_->nodes_[static_cast<size_t>(node)]->segments_.back();
+      s.options.obj_bytes = dim * sizeof(float);
+      s.options.graph = graph;
+      s.accumulator = true;
+      s.recv_mr = mr;
+    }
+  } else {
+    const DstormDomain::SegmentSpec& spec = domain_->specs_[static_cast<size_t>(seg_id)];
+    MALT_CHECK(spec.options.obj_bytes == dim * sizeof(float))
+        << "collective CreateAccumulator called with mismatched dim on rank " << rank_;
+  }
+  ++domain_->specs_[static_cast<size_t>(seg_id)].creators;
+  return seg_id;
+}
+
+Status Dstorm::ScatterAdd(SegmentId seg, std::span<const float> values) {
+  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  Segment& s = segments_[static_cast<size_t>(seg)];
+  if (!s.accumulator) {
+    return FailedPreconditionError("ScatterAdd requires an accumulator segment");
+  }
+  if (values.size_bytes() != s.options.obj_bytes) {
+    return InvalidArgumentError("ScatterAdd size mismatch");
+  }
+  // One combined payload: the contribution values plus a 1.0 for the count.
+  std::vector<float> wire(values.begin(), values.end());
+  wire.push_back(1.0f);
+  Status first_error;
+  for (int dst : s.options.graph.OutEdges(rank_)) {
+    if (!group_member_[static_cast<size_t>(dst)]) {
+      continue;
+    }
+    proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+    const MrHandle dst_mr{dst, static_cast<uint32_t>(seg) + 2};
+    Result<uint64_t> posted = fabric_->PostFloatAdd(rank_, proc_->now(), dst_mr, 0, wire);
+    if (!posted.ok() && first_error.ok()) {
+      first_error = posted.status();
+    }
+  }
+  DrainCompletions();
+  return first_error;
+}
+
+int64_t Dstorm::DrainAccumulator(SegmentId seg, std::span<float> out) {
+  Segment& s = segments_[static_cast<size_t>(seg)];
+  MALT_CHECK(s.accumulator) << "DrainAccumulator requires an accumulator segment";
+  const size_t dim = s.options.obj_bytes / sizeof(float);
+  MALT_CHECK(out.size() == dim) << "DrainAccumulator size mismatch";
+  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
+  auto* floats = reinterpret_cast<float*>(mem.data());
+  std::memcpy(out.data(), floats, dim * sizeof(float));
+  const int64_t count = static_cast<int64_t>(floats[dim]);
+  std::memset(mem.data(), 0, (dim + 1) * sizeof(float));
+  return count;
+}
+
+Status Dstorm::PostObject(SegmentId seg, int dst, std::span<const std::byte> payload,
+                          uint32_t iter) {
+  Segment& s = segments_[static_cast<size_t>(seg)];
+  if (payload.size() > s.options.obj_bytes) {
+    return InvalidArgumentError("payload exceeds segment object size");
+  }
+
+  const int sender_pos = s.sender_pos_at[static_cast<size_t>(dst)];
+  if (sender_pos < 0) {
+    return FailedPreconditionError("rank " + std::to_string(rank_) +
+                                   " is not an in-neighbor of " + std::to_string(dst));
+  }
+  const uint64_t seq = ++s.next_send_seq[static_cast<size_t>(dst)];
+  const int slot = s.next_send_slot[static_cast<size_t>(dst)];
+  s.next_send_slot[static_cast<size_t>(dst)] = (slot + 1) % s.options.queue_depth;
+
+  // Wire image of the slot: both sequence stamps carry `seq`; a reader that
+  // observes mismatched stamps is seeing a write in flight. The back stamp
+  // sits immediately after the payload (its position is derived from the
+  // header's byte count), so only header + payload + trailer travel on the
+  // wire — a short object does not pay for the slot's full capacity.
+  std::vector<std::byte> wire(kPayloadOff + payload.size() + sizeof(uint64_t));
+  StoreU64(wire.data() + kSeqFrontOff, seq);
+  StoreU32(wire.data() + kIterOff, iter);
+  StoreU32(wire.data() + kBytesOff, static_cast<uint32_t>(payload.size()));
+  std::memcpy(wire.data() + kPayloadOff, payload.data(), payload.size());
+  StoreU64(wire.data() + kPayloadOff + payload.size(), seq);
+
+  // Sender-side back-pressure (paper §3.1): block while the NIC queue is full.
+  proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+
+  const MrHandle dst_mr{dst, static_cast<uint32_t>(seg) + 2};
+  const size_t offset = SlotOffset(s, sender_pos, slot);
+  Result<uint64_t> posted = fabric_->PostWrite(rank_, proc_->now(), dst_mr, offset, wire);
+  if (!posted.ok()) {
+    return posted.status();
+  }
+  return OkStatus();
+}
+
+Status Dstorm::Scatter(SegmentId seg, std::span<const std::byte> payload, uint32_t iter) {
+  const Segment& s = segments_[static_cast<size_t>(seg)];
+  std::vector<int> dsts;
+  for (int dst : s.options.graph.OutEdges(rank_)) {
+    if (group_member_[static_cast<size_t>(dst)]) {
+      dsts.push_back(dst);
+    }
+  }
+  return ScatterTo(seg, dsts, payload, iter);
+}
+
+Status Dstorm::ScatterTo(SegmentId seg, std::span<const int> dsts,
+                         std::span<const std::byte> payload, uint32_t iter) {
+  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  Status first_error;
+  for (int dst : dsts) {
+    if (!group_member_[static_cast<size_t>(dst)]) {
+      continue;
+    }
+    Status status = PostObject(seg, dst, payload, iter);
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  DrainCompletions();
+  return first_error;
+}
+
+int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& consume) {
+  Segment& s = segments_[static_cast<size_t>(seg)];
+  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
+  int consumed = 0;
+
+  const auto& in_edges = s.options.graph.InEdges(rank_);
+  for (size_t pos = 0; pos < in_edges.size(); ++pos) {
+    const int sender = in_edges[pos];
+    if (!group_member_[static_cast<size_t>(sender)]) {
+      continue;
+    }
+    // Collect fresh consistent slots from this sender, oldest first.
+    struct Fresh {
+      uint64_t seq;
+      int slot;
+      uint32_t iter;
+      uint32_t bytes;
+    };
+    Fresh fresh[16];
+    int fresh_count = 0;
+    const int depth = s.options.queue_depth;
+    MALT_CHECK(depth <= 16) << "queue depth > 16 unsupported";
+    for (int slot = 0; slot < depth; ++slot) {
+      const std::byte* base = mem.data() + SlotOffset(s, static_cast<int>(pos), slot);
+      const uint64_t seq_front = LoadU64(base + kSeqFrontOff);
+      const uint32_t bytes = LoadU32(base + kBytesOff);
+      if (seq_front == 0 || bytes > s.options.obj_bytes) {
+        continue;  // never written, or header mid-write
+      }
+      const uint64_t seq_back = LoadU64(base + kPayloadOff + bytes);
+      if (seq_front != seq_back) {
+        continue;  // torn (write in flight) — skip, the paper's atomic gather
+      }
+      if (seq_front <= s.last_consumed[static_cast<size_t>(sender)]) {
+        continue;  // already folded
+      }
+      fresh[fresh_count++] = Fresh{seq_front, slot, LoadU32(base + kIterOff), bytes};
+    }
+    std::sort(fresh, fresh + fresh_count,
+              [](const Fresh& a, const Fresh& b) { return a.seq < b.seq; });
+    for (int i = 0; i < fresh_count; ++i) {
+      const std::byte* base = mem.data() + SlotOffset(s, static_cast<int>(pos), fresh[i].slot);
+      RecvObject obj;
+      obj.sender = sender;
+      obj.iter = fresh[i].iter;
+      obj.bytes = std::span<const std::byte>(base + kPayloadOff, fresh[i].bytes);
+      consume(obj);
+      const uint64_t previous = s.last_consumed[static_cast<size_t>(sender)];
+      if (fresh[i].seq > previous + 1 && previous != 0) {
+        s.lost_updates += static_cast<int64_t>(fresh[i].seq - previous - 1);
+      } else if (previous == 0 && fresh[i].seq > 1 && i == 0) {
+        s.lost_updates += static_cast<int64_t>(fresh[i].seq - 1);
+      }
+      s.last_consumed[static_cast<size_t>(sender)] = fresh[i].seq;
+      ++consumed;
+    }
+  }
+  return consumed;
+}
+
+int64_t Dstorm::PeerIteration(SegmentId seg, int sender) const {
+  const Segment& s = segments_[static_cast<size_t>(seg)];
+  const auto& in_edges = s.options.graph.InEdges(rank_);
+  const auto it = std::find(in_edges.begin(), in_edges.end(), sender);
+  if (it == in_edges.end()) {
+    return -1;  // not an in-neighbor: nothing can ever arrive from it
+  }
+  const int pos = static_cast<int>(it - in_edges.begin());
+  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
+  int64_t best = -1;
+  for (int slot = 0; slot < s.options.queue_depth; ++slot) {
+    const std::byte* base = mem.data() + SlotOffset(s, pos, slot);
+    const uint64_t seq_front = LoadU64(base + kSeqFrontOff);
+    const uint32_t bytes = LoadU32(base + kBytesOff);
+    if (seq_front == 0 || bytes > s.options.obj_bytes) {
+      continue;
+    }
+    if (seq_front != LoadU64(base + kPayloadOff + bytes)) {
+      continue;
+    }
+    best = std::max(best, static_cast<int64_t>(LoadU32(base + kIterOff)));
+  }
+  return best;
+}
+
+bool Dstorm::FreshAvailable(SegmentId seg) const {
+  const Segment& s = segments_[static_cast<size_t>(seg)];
+  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
+  const auto& in_edges = s.options.graph.InEdges(rank_);
+  for (size_t pos = 0; pos < in_edges.size(); ++pos) {
+    const int sender = in_edges[pos];
+    if (!group_member_[static_cast<size_t>(sender)]) {
+      continue;
+    }
+    for (int slot = 0; slot < s.options.queue_depth; ++slot) {
+      const std::byte* base = mem.data() + SlotOffset(s, static_cast<int>(pos), slot);
+      const uint64_t seq_front = LoadU64(base + kSeqFrontOff);
+      const uint32_t bytes = LoadU32(base + kBytesOff);
+      if (seq_front == 0 || bytes > s.options.obj_bytes) {
+        continue;
+      }
+      if (seq_front == LoadU64(base + kPayloadOff + bytes) &&
+          seq_front > s.last_consumed[static_cast<size_t>(sender)]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int64_t Dstorm::LostUpdates(SegmentId seg) const {
+  return segments_[static_cast<size_t>(seg)].lost_updates;
+}
+
+void Dstorm::DrainCompletions() {
+  Completion batch[32];
+  for (;;) {
+    const int n = fabric_->PollCq(rank_, batch);
+    if (n == 0) {
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (batch[i].status == WcStatus::kSuccess) {
+        continue;
+      }
+      const int dst = batch[i].dst;
+      if (!peer_failed_[static_cast<size_t>(dst)]) {
+        peer_failed_[static_cast<size_t>(dst)] = true;
+        failed_unreported_.push_back(dst);
+        MALT_LOG_S(kInfo) << "dstorm rank " << rank_ << ": write to " << dst
+                          << " failed (" << static_cast<int>(batch[i].status) << ")";
+      }
+    }
+  }
+}
+
+Status Dstorm::Flush() {
+  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  proc_->WaitUntil([this] { return fabric_->OutstandingWrites(rank_) == 0; });
+  DrainCompletions();
+  return failed_unreported_.empty()
+             ? OkStatus()
+             : UnavailableError("peer failure detected during flush");
+}
+
+bool Dstorm::ProbePeer(int peer) {
+  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  if (peer == rank_) {
+    return true;
+  }
+  if (peer_failed_[static_cast<size_t>(peer)]) {
+    return false;  // fail-stop: once dead, stays dead
+  }
+  std::byte wire[sizeof(uint64_t)];
+  StoreU64(wire, ++probe_count_);
+  proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+  const MrHandle dst_mr{peer, 1};
+  Result<uint64_t> posted = fabric_->PostWrite(rank_, proc_->now(), dst_mr,
+                                               static_cast<size_t>(rank_) * sizeof(uint64_t),
+                                               wire);
+  if (!posted.ok()) {
+    return false;
+  }
+  // Wait for this probe (and anything before it) to complete, then inspect
+  // the failure record.
+  proc_->WaitUntil([this] { return fabric_->OutstandingWrites(rank_) == 0; });
+  DrainCompletions();
+  return !peer_failed_[static_cast<size_t>(peer)];
+}
+
+std::vector<int> Dstorm::TakeFailedPeers() {
+  DrainCompletions();
+  std::vector<int> failed = std::move(failed_unreported_);
+  failed_unreported_.clear();
+  return failed;
+}
+
+void Dstorm::RemoveFromGroup(int failed) {
+  if (!group_member_[static_cast<size_t>(failed)]) {
+    return;
+  }
+  group_member_[static_cast<size_t>(failed)] = false;
+  ++group_epoch_;
+}
+
+std::vector<int> Dstorm::GroupMembers() const {
+  std::vector<int> members;
+  for (int node = 0; node < world_; ++node) {
+    if (group_member_[static_cast<size_t>(node)]) {
+      members.push_back(node);
+    }
+  }
+  return members;
+}
+
+Status Dstorm::Barrier(SimDuration timeout) {
+  ++barrier_round_;
+  return BarrierResume(timeout);
+}
+
+void Dstorm::FinishBarriers() {
+  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  constexpr uint64_t kFinished = std::numeric_limits<uint64_t>::max();
+  std::span<std::byte> my_counters = fabric_->Data(barrier_mr_);
+  StoreU64(my_counters.data() + static_cast<size_t>(rank_) * sizeof(uint64_t), kFinished);
+  std::byte wire[sizeof(uint64_t)];
+  StoreU64(wire, kFinished);
+  for (int member : GroupMembers()) {
+    if (member == rank_) {
+      continue;
+    }
+    proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+    const MrHandle dst_mr{member, 0};
+    (void)fabric_->PostWrite(rank_, proc_->now(), dst_mr,
+                             static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
+  }
+  // Drain so the writes are on the wire before this process exits.
+  proc_->WaitUntil([this] { return fabric_->OutstandingWrites(rank_) == 0; });
+  DrainCompletions();
+}
+
+Status Dstorm::BarrierResume(SimDuration timeout) {
+  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  const uint64_t round = barrier_round_;
+
+  // Publish my arrival: local store for my own slot, one-sided writes to the
+  // rest of the group.
+  std::span<std::byte> my_counters = fabric_->Data(barrier_mr_);
+  StoreU64(my_counters.data() + static_cast<size_t>(rank_) * sizeof(uint64_t), round);
+  std::byte wire[sizeof(uint64_t)];
+  StoreU64(wire, round);
+  for (int member : GroupMembers()) {
+    if (member == rank_) {
+      continue;
+    }
+    proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+    const MrHandle dst_mr{member, 0};
+    Result<uint64_t> posted = fabric_->PostWrite(
+        rank_, proc_->now(), dst_mr, static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
+    if (!posted.ok()) {
+      return posted.status();
+    }
+  }
+
+  // Wait for every (current) group member to reach this round. The predicate
+  // re-reads the membership list so a concurrent RemoveFromGroup (fault
+  // recovery on this node) lets the barrier complete with the survivors.
+  auto arrived = [this, round, my_counters] {
+    for (int member = 0; member < world_; ++member) {
+      if (!group_member_[static_cast<size_t>(member)] || member == rank_) {
+        continue;
+      }
+      const uint64_t seen =
+          LoadU64(my_counters.data() + static_cast<size_t>(member) * sizeof(uint64_t));
+      if (seen < round) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (timeout <= 0) {
+    proc_->WaitUntil(arrived);
+    DrainCompletions();
+    return OkStatus();
+  }
+  const bool ok = proc_->WaitUntilOr(arrived, proc_->now() + timeout);
+  DrainCompletions();
+  return ok ? OkStatus() : DeadlineExceededError("barrier timeout on rank " +
+                                                 std::to_string(rank_));
+}
+
+}  // namespace malt

@@ -1,0 +1,230 @@
+// dstorm — DiSTributed One-sided Remote Memory (paper §3.1).
+//
+// Every node creates shared-memory "segments" collectively. A segment on node
+// R reserves a receive queue of `queue_depth` slots for every potential
+// sender S; sender S round-robins its writes over its own slots, so
+// write-write conflicts are impossible by construction and a scatter never
+// involves the receiver's CPU (lockless model propagation).
+//
+// Slot wire format (offsets computable by the sender with no remote reads):
+//   u64 seq_front | u32 iter | u32 bytes | payload[obj_bytes] | u64 seq_back
+// A slot is consistent when seq_front == seq_back and nonzero; a torn write
+// (in-flight overwrite) shows mismatched stamps and is skipped by Gather —
+// this is the paper's "atomic gather" without any reader/writer locking.
+//
+// Overwrite-on-full: a sender that laps the reader simply overwrites its
+// oldest slot; Gather folds only not-yet-consumed consistent slots, newest
+// last, per sender.
+
+#ifndef SRC_DSTORM_DSTORM_H_
+#define SRC_DSTORM_DSTORM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/comm/graph.h"
+#include "src/sim/engine.h"
+#include "src/simnet/fabric.h"
+
+namespace malt {
+
+using SegmentId = int;
+
+struct SegmentOptions {
+  size_t obj_bytes = 0;  // payload capacity per object
+  Graph graph;           // dataflow: who pushes to whom
+  int queue_depth = 2;   // receive-queue slots per sender
+};
+
+// One object received by Gather.
+struct RecvObject {
+  int sender = -1;
+  uint32_t iter = 0;                 // sender's iteration stamp
+  std::span<const std::byte> bytes;  // valid only during the Gather callback
+};
+
+class DstormDomain;
+
+// Per-node endpoint. All calls must come from the bound process.
+class Dstorm {
+ public:
+  int rank() const { return rank_; }
+  int world() const { return world_; }
+
+  // Binds this endpoint to its simulator process; required before use.
+  void Bind(Process& proc) { proc_ = &proc; }
+  Process& process() const { return *proc_; }
+
+  // Collective: every live node must call with identical options; segments
+  // are numbered by call order. Registers the receive memory on this node.
+  SegmentId CreateSegment(const SegmentOptions& options);
+
+  // Pushes `payload` (<= obj_bytes) with iteration stamp `iter` to every
+  // live out-neighbor in the segment's dataflow graph. One one-sided write
+  // per receiver. Applies back-pressure when the NIC send queue is full.
+  // Dead peers discovered through error completions are recorded (see
+  // TakeFailedPeers) and skipped on subsequent scatters.
+  Status Scatter(SegmentId seg, std::span<const std::byte> payload, uint32_t iter);
+
+  // As Scatter, but to an explicit subset of the out-neighbors — the paper's
+  // fine-grained per-call dataflow control (§3.2).
+  Status ScatterTo(SegmentId seg, std::span<const int> dsts, std::span<const std::byte> payload,
+                   uint32_t iter);
+
+  // Applies `consume` to every fresh consistent object in this node's
+  // receive queues (local operation; no network). Objects from a given
+  // sender are presented oldest-first. Returns the number consumed.
+  int Gather(SegmentId seg, const std::function<void(const RecvObject&)>& consume);
+
+  // Largest iteration stamp visible from `sender` in this segment (consumed
+  // or not); -1 if nothing received yet. Drives bounded-staleness decisions.
+  int64_t PeerIteration(SegmentId seg, int sender) const;
+
+  // True when at least one not-yet-consumed consistent object is waiting in
+  // this node's receive queues (cheap poll used in WaitUntil predicates).
+  bool FreshAvailable(SegmentId seg) const;
+
+  // Updates lost to overwrite-on-full so far: a receiver detects them as
+  // gaps in the per-sender sequence numbers it consumes. The paper accepts
+  // this loss (stochastic training tolerates dropped updates); the counter
+  // quantifies the freshness/queue-depth trade-off.
+  int64_t LostUpdates(SegmentId seg) const;
+
+  // Blocks until all of this node's outstanding writes have completed,
+  // harvesting error completions.
+  Status Flush();
+
+  // Distributed barrier among current group members. Returns
+  // kDeadlineExceeded if a member failed to arrive within `timeout`
+  // (0 = wait forever); the caller is expected to run a health check and
+  // retry with BarrierResume. A node whose group shrinks mid-wait completes
+  // with the survivors.
+  Status Barrier(SimDuration timeout = 0);
+
+  // Re-arms the *same* barrier round after a recovery (the round must not
+  // advance, or survivors that already passed would be waited on forever).
+  Status BarrierResume(SimDuration timeout = 0);
+
+  // Marks this node as finished with all collective synchronization: its
+  // barrier counter is published as "infinity" so peers still in (or about to
+  // enter) a barrier never wait for it. Called automatically by the runtime
+  // when a worker body returns; needed because failures can leave survivors
+  // with different per-epoch round counts after re-sharding.
+  void FinishBarriers();
+
+  // --- hardware aggregation (paper conclusion: fetch_and_add in the NIC) ----
+
+  // Creates an accumulator segment: one float array per node into which
+  // peers' contributions are *added by the NIC itself* (PostFloatAdd), so
+  // folding costs the receiver no CPU at all. Collective, like
+  // CreateSegment. Returns a segment id usable only with ScatterAdd /
+  // DrainAccumulator.
+  SegmentId CreateAccumulator(size_t dim, const Graph& graph);
+
+  // Adds `values` (exactly `dim` floats) into every live out-neighbor's
+  // accumulator, one one-sided accumulating write per receiver.
+  Status ScatterAdd(SegmentId seg, std::span<const float> values);
+
+  // Copies this node's accumulated sum into `out` (dim floats), zeroes the
+  // accumulator, and returns the number of contributions folded since the
+  // last drain. Atomic with respect to in-flight adds.
+  int64_t DrainAccumulator(SegmentId seg, std::span<float> out);
+
+  // --- fault integration ----------------------------------------------------
+
+  // Actively probes `peer` with a tiny one-sided write and waits for its
+  // completion. Returns false if the write errors (peer dead/unreachable).
+  bool ProbePeer(int peer);
+
+  // Peers whose writes error'd since the last call (suspected dead).
+  std::vector<int> TakeFailedPeers();
+
+  // Removes `failed` from the communication group: scatters, gathers and
+  // barriers skip it from now on. Idempotent.
+  void RemoveFromGroup(int failed);
+
+  bool InGroup(int node) const { return group_member_[static_cast<size_t>(node)]; }
+  std::vector<int> GroupMembers() const;
+  int64_t group_epoch() const { return group_epoch_; }
+
+ private:
+  friend class DstormDomain;
+
+  // Receive-queue layout: a node's region holds one queue per *in-neighbor*
+  // (not per world rank), in InEdges order. A sender computes its queue base
+  // on each receiver from its position in that receiver's in-edge list —
+  // deterministic from the shared dataflow graph, so no remote metadata
+  // reads are ever needed.
+  struct Segment {
+    SegmentOptions options;
+    bool accumulator = false;               // NIC-aggregated segment (no queues)
+    MrHandle recv_mr;                       // this node's receive queues
+    size_t slot_stride = 0;                 // header + payload + trailer, aligned
+    std::vector<int> sender_pos_at;         // per receiver: my in-edge position (-1: none)
+    std::vector<uint64_t> next_send_seq;    // per receiver: my next stamp
+    std::vector<int> next_send_slot;        // per receiver: my next slot index
+    std::vector<uint64_t> last_consumed;    // per sender: newest consumed stamp
+    int64_t lost_updates = 0;               // sequence gaps seen while consuming
+  };
+
+  Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world);
+
+  Status PostObject(SegmentId seg, int dst, std::span<const std::byte> payload, uint32_t iter);
+  void DrainCompletions();
+  size_t SlotOffset(const Segment& s, int sender_pos, int slot) const;
+
+  DstormDomain* domain_;
+  Engine* engine_;
+  Fabric* fabric_;
+  Process* proc_ = nullptr;
+  int rank_;
+  int world_;
+
+  std::vector<Segment> segments_;
+  int created_count_ = 0;  // segments this node has itself created
+  std::vector<bool> group_member_;
+  int64_t group_epoch_ = 0;
+  std::vector<bool> peer_failed_;       // error completion seen, not yet taken
+  std::vector<int> failed_unreported_;  // FIFO for TakeFailedPeers
+
+  // Barrier state.
+  MrHandle barrier_mr_;
+  uint64_t barrier_round_ = 0;
+
+  // Health-probe scratch region (rkey 1 on every node).
+  MrHandle probe_mr_;
+  uint64_t probe_count_ = 0;
+};
+
+// Owns the per-node endpoints and the collective segment-creation registry.
+class DstormDomain {
+ public:
+  DstormDomain(Engine& engine, Fabric& fabric, int nodes);
+
+  Dstorm& node(int rank) { return *nodes_[static_cast<size_t>(rank)]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  friend class Dstorm;
+
+  // Registry entry for collective creation: first caller defines the
+  // options; later callers must match.
+  struct SegmentSpec {
+    SegmentOptions options;
+    int creators = 0;
+  };
+
+  Engine& engine_;
+  Fabric& fabric_;
+  std::vector<std::unique_ptr<Dstorm>> nodes_;
+  std::vector<SegmentSpec> specs_;
+};
+
+}  // namespace malt
+
+#endif  // SRC_DSTORM_DSTORM_H_

@@ -1,0 +1,87 @@
+#include "src/fault/monitor.h"
+
+#include <exception>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+std::vector<int> FaultMonitor::CheckAndRecover() {
+  const std::vector<int> suspects = dstorm_.TakeFailedPeers();
+  if (suspects.empty()) {
+    return {};
+  }
+  MALT_LOG_S(kInfo) << "fault monitor rank " << dstorm_.rank() << ": " << suspects.size()
+                    << " suspect peer(s); running health check";
+  return HealthCheckAndRecover();
+}
+
+std::vector<int> FaultMonitor::HealthCheckAndRecover() {
+  std::vector<int> removed;
+  for (int member : dstorm_.GroupMembers()) {
+    if (member == dstorm_.rank()) {
+      continue;
+    }
+    if (!dstorm_.ProbePeer(member)) {
+      removed.push_back(member);
+    }
+  }
+  if (!removed.empty()) {
+    Recover(removed);
+  }
+  // Drop any residual failure reports for nodes we just removed.
+  (void)dstorm_.TakeFailedPeers();
+  return removed;
+}
+
+bool FaultMonitor::HasQuorum() const {
+  if (options_.quorum_fraction <= 0.0) {
+    return true;
+  }
+  const double group = static_cast<double>(dstorm_.GroupMembers().size());
+  return group >= options_.quorum_fraction * static_cast<double>(dstorm_.world());
+}
+
+void FaultMonitor::Recover(const std::vector<int>& removed) {
+  for (int node : removed) {
+    MALT_LOG_S(kInfo) << "fault monitor rank " << dstorm_.rank() << ": removing node " << node
+                      << " from group";
+    dstorm_.RemoveFromGroup(node);
+  }
+  // Model the RDMA re-registration + queue rebuild delay (paper §3.3).
+  dstorm_.process().Advance(options_.recovery_cost);
+  ++recoveries_;
+  for (const auto& listener : listeners_) {
+    listener(removed);
+  }
+  if (!HasQuorum()) {
+    // Partition left this replica in a splinter below quorum: halt training
+    // here; the majority side continues (paper §3.3).
+    MALT_LOG_S(kError) << "rank " << dstorm_.rank() << ": group of "
+                       << dstorm_.GroupMembers().size() << " is below quorum; halting";
+    Process& proc = dstorm_.process();
+    proc.engine().ScheduleKill(proc.pid(), proc.now());
+    proc.Yield();
+    MALT_CHECK(false) << "unreachable: quorum halt did not unwind";
+  }
+}
+
+void FaultMonitor::GuardLocal(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ProcessKilled&) {
+    throw;  // engine-injected kill: unwind normally
+  } catch (const std::exception& e) {
+    // The paper's local fault monitor traps processor exceptions (divide by
+    // zero, segfault, ...) and terminates the local training process; peers
+    // then observe the dead node through failed writes.
+    MALT_LOG_S(kError) << "rank " << dstorm_.rank()
+                       << ": local fault trapped: " << e.what() << "; terminating replica";
+    Process& proc = dstorm_.process();
+    proc.engine().ScheduleKill(proc.pid(), proc.now());
+    proc.Yield();  // the kill applies here and unwinds via ProcessKilled
+    MALT_CHECK(false) << "unreachable: kill did not unwind";
+  }
+}
+
+}  // namespace malt

@@ -1,0 +1,82 @@
+// Fault monitors (paper §3.3).
+//
+// One monitor runs on every node. It watches for failed one-sided writes
+// (surfaced by dstorm as error completions), performs a synchronous health
+// check of the cluster by actively probing every group member, builds the
+// survivor group, and drives recovery: the failed nodes are removed from all
+// send/receive lists and barrier groups, listeners (the runtime) re-shard the
+// dead nodes' training data, and a modeled recovery delay is charged —
+// the paper reports recovery "of the order of seconds".
+//
+// Fail-stop only: corrupt-but-live (Byzantine) peers are out of scope, as in
+// the paper. Local "processor exceptions" (the paper traps SIGFPE/SIGSEGV in
+// the training process) are modeled by GuardLocal(): an exception escaping
+// the guarded region terminates this replica, which peers then detect.
+
+#ifndef SRC_FAULT_MONITOR_H_
+#define SRC_FAULT_MONITOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/base/time_units.h"
+#include "src/dstorm/dstorm.h"
+
+namespace malt {
+
+struct FaultMonitorOptions {
+  // Virtual-time cost of one recovery: re-registering the RDMA interface and
+  // rebuilding queues (paper: "a short delay ... of the order of seconds";
+  // scaled to our scaled-down workloads).
+  SimDuration recovery_cost = FromSeconds(0.2);
+  // Partition policy (paper §3.3): "it is possible to halt the training if
+  // the partition results in a cluster with very few nodes." When the
+  // survivor group drops below quorum_fraction * world, this replica halts
+  // itself (fail-stop) instead of training on in a tiny splinter. 0 = train
+  // on regardless (the paper's default: both sides continue independently).
+  double quorum_fraction = 0.0;
+};
+
+class FaultMonitor {
+ public:
+  FaultMonitor(Dstorm& dstorm, FaultMonitorOptions options)
+      : dstorm_(dstorm), options_(options) {}
+
+  // Invoked when the caller observed membership changes: survivors list
+  // after relabeling is NOT applied — ranks keep their original ids.
+  using RecoveryListener = std::function<void(const std::vector<int>& removed)>;
+  void AddRecoveryListener(RecoveryListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  // Fast path, called from the training loop: if any peer write has failed
+  // since the last check, runs the full health check + recovery. Returns the
+  // nodes removed by this call (empty in the common no-failure case).
+  std::vector<int> CheckAndRecover();
+
+  // Probes every current group member; removes unreachable ones and runs
+  // recovery. Called on barrier timeouts and by CheckAndRecover.
+  std::vector<int> HealthCheckAndRecover();
+
+  // Runs `fn`, trapping local software faults (the paper's processor
+  // exception handling): an escaping std::exception logs, terminates this
+  // replica fail-stop, and never returns.
+  void GuardLocal(const std::function<void()>& fn);
+
+  int64_t recoveries() const { return recoveries_; }
+
+  // True when the current group satisfies the quorum policy.
+  bool HasQuorum() const;
+
+ private:
+  void Recover(const std::vector<int>& removed);
+
+  Dstorm& dstorm_;
+  FaultMonitorOptions options_;
+  std::vector<RecoveryListener> listeners_;
+  int64_t recoveries_ = 0;
+};
+
+}  // namespace malt
+
+#endif  // SRC_FAULT_MONITOR_H_

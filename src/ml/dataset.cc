@@ -1,0 +1,260 @@
+#include "src/ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+#include "src/base/rng.h"
+
+namespace malt {
+
+double SparseDataset::AvgNnz() const {
+  if (train.empty()) {
+    return 0;
+  }
+  double total = 0;
+  for (const SparseExample& ex : train) {
+    total += static_cast<double>(ex.nnz());
+  }
+  return total / static_cast<double>(train.size());
+}
+
+namespace {
+
+SparseExample DrawExample(Xoshiro256& rng, const ClassificationConfig& config,
+                          std::span<const float> truth) {
+  SparseExample ex;
+  const size_t nnz = std::min(config.avg_nnz, config.dim);
+  ex.idx.reserve(nnz);
+  ex.val.reserve(nnz);
+  const float value_scale = 1.0f / std::sqrt(static_cast<float>(nnz));
+  if (nnz == config.dim) {
+    // Dense profile (PASCAL alpha): every feature active.
+    for (uint32_t i = 0; i < config.dim; ++i) {
+      ex.idx.push_back(i);
+      ex.val.push_back(static_cast<float>(rng.NextGaussian()) * value_scale);
+    }
+  } else if (config.feature_skew <= 1.0) {
+    // Uniform: sample nnz distinct indices (Floyd's algorithm, O(nnz)).
+    std::vector<uint32_t> chosen;
+    chosen.reserve(nnz);
+    for (size_t j = config.dim - nnz; j < config.dim; ++j) {
+      const uint32_t t = static_cast<uint32_t>(rng.NextBounded(j + 1));
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      } else {
+        chosen.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    for (uint32_t i : chosen) {
+      ex.idx.push_back(i);
+      ex.val.push_back(static_cast<float>(rng.NextGaussian()) * value_scale);
+    }
+  } else {
+    // Zipf-ish: index = floor(dim * u^skew) concentrates mass on small ids,
+    // so batches touch few distinct coordinates (text-corpus behaviour).
+    // Draw nnz candidates, then sort+dedup: duplicates shrink the example a
+    // little, exactly like repeated words collapsing in a bag-of-words.
+    std::vector<uint32_t> chosen;
+    chosen.reserve(nnz);
+    for (size_t k = 0; k < nnz; ++k) {
+      const double u = rng.NextDouble();
+      const uint32_t i = static_cast<uint32_t>(
+          std::pow(u, config.feature_skew) * static_cast<double>(config.dim));
+      chosen.push_back(std::min<uint32_t>(i, static_cast<uint32_t>(config.dim - 1)));
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    for (uint32_t i : chosen) {
+      ex.idx.push_back(i);
+      ex.val.push_back(static_cast<float>(rng.NextGaussian()) * value_scale);
+    }
+  }
+  double activation = 0;
+  for (size_t k = 0; k < ex.idx.size(); ++k) {
+    activation += static_cast<double>(truth[ex.idx[k]]) * ex.val[k];
+  }
+  activation += rng.NextGaussian() * config.margin;
+  ex.label = activation >= 0 ? 1.0f : -1.0f;
+  if (rng.NextDouble() < config.label_noise) {
+    ex.label = -ex.label;
+  }
+  return ex;
+}
+
+}  // namespace
+
+SparseDataset MakeClassification(const ClassificationConfig& config) {
+  MALT_CHECK(config.dim > 0 && config.avg_nnz > 0) << "bad classification config";
+  Xoshiro256 rng(config.seed);
+  // Scaling: feature values are N(0, 1/nnz) so ||x||^2 ~ 1 (the usual
+  // normalized-input setup SGD learning rates assume), and the ground-truth
+  // separator has N(0, 1) coordinates, making the clean activation ~ N(0, 1).
+  std::vector<float> truth(config.dim);
+  for (float& w : truth) {
+    w = static_cast<float>(rng.NextGaussian());
+  }
+
+  SparseDataset data;
+  data.name = config.name;
+  data.dim = config.dim;
+  data.train.reserve(config.train_n);
+  for (size_t i = 0; i < config.train_n; ++i) {
+    data.train.push_back(DrawExample(rng, config, truth));
+  }
+  data.test.reserve(config.test_n);
+  for (size_t i = 0; i < config.test_n; ++i) {
+    data.test.push_back(DrawExample(rng, config, truth));
+  }
+  return data;
+}
+
+// Presets: dimensions follow Table 2; example counts are scaled down ~50-100x
+// so every figure regenerates in seconds on one core. EXPERIMENTS.md records
+// the mapping.
+ClassificationConfig Rcv1Like() {
+  ClassificationConfig config;
+  config.name = "rcv1-like";
+  // Table 2: RCV1 has 47,152 params and 781K examples (examples scaled ~6.5x
+  // so figures regenerate in seconds; the 190 examples-per-dimension ratio
+  // keeps the task learnable).
+  config.dim = 47152;
+  config.train_n = 120000;
+  config.test_n = 2000;
+  config.avg_nnz = 75;  // RCV1 tf-idf docs average ~75 terms
+  config.label_noise = 0.03;
+  config.margin = 0.3;
+  config.seed = 101;
+  return config;
+}
+
+ClassificationConfig AlphaLike() {
+  ClassificationConfig config;
+  config.name = "alpha-like";
+  config.dim = 500;  // Table 2: alpha has 500 params (dense), 250K examples
+  config.train_n = 60000;
+  config.test_n = 2000;
+  config.avg_nnz = 500;   // dense
+  config.label_noise = 0.05;
+  config.margin = 0.8;    // alpha is noisy: the single-rank variance floor is
+                          // what makes parallel averaging super-linear (Fig 5)
+  config.seed = 102;
+  return config;
+}
+
+ClassificationConfig DnaLike() {
+  ClassificationConfig config;
+  config.name = "dna-like";
+  config.dim = 800;  // Table 2: DNA has 800 params (23M examples, scaled)
+  config.train_n = 16000;
+  config.test_n = 2000;
+  config.avg_nnz = 200;
+  config.label_noise = 0.03;
+  config.margin = 0.4;
+  config.seed = 103;
+  return config;
+}
+
+ClassificationConfig WebspamLike() {
+  ClassificationConfig config;
+  config.name = "webspam-like";
+  config.dim = 300000;  // paper: 16.6M; the dim >> batch-touched-coords ratio
+                        // is what makes sparse gradient exchange beat dense
+                        // model pulls (Figs 9 and 13)
+  config.train_n = 10000;
+  config.test_n = 1000;
+  config.avg_nnz = 100;
+  config.label_noise = 0.03;
+  config.margin = 0.4;
+  config.feature_skew = 4.0;  // webspam n-grams are heavily Zipfian
+  config.seed = 104;
+  return config;
+}
+
+ClassificationConfig SpliceLike() {
+  ClassificationConfig config;
+  config.name = "splice-like";
+  config.dim = 50000;  // paper: 11M params, 10M examples (250 GB)
+  config.train_n = 30000;
+  config.test_n = 2000;
+  config.avg_nnz = 140;
+  config.label_noise = 0.05;  // splice-site is a hard, noisy task
+  config.margin = 0.4;
+  config.feature_skew = 2.5;
+  config.seed = 105;
+  return config;
+}
+
+ClassificationConfig KddLike() {
+  ClassificationConfig config;
+  config.name = "kdd12-like";
+  config.dim = 8000;  // CTR feature hash space for the 3-layer SSI net
+  config.train_n = 12000;
+  config.test_n = 2500;
+  config.avg_nnz = 30;
+  config.label_noise = 0.10;  // click data is noisy
+  config.margin = 0.3;
+  config.seed = 106;
+  return config;
+}
+
+RatingsDataset MakeRatings(const RatingsConfig& config) {
+  MALT_CHECK(config.users > 0 && config.items > 0 && config.rank > 0) << "bad ratings config";
+  Xoshiro256 rng(config.seed);
+  const size_t users = static_cast<size_t>(config.users);
+  const size_t items = static_cast<size_t>(config.items);
+  const size_t rank = static_cast<size_t>(config.rank);
+
+  std::vector<float> p(users * rank);
+  std::vector<float> q(items * rank);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(rank));
+  for (float& v : p) {
+    v = (static_cast<float>(rng.NextDouble()) + 0.5f) * scale;
+  }
+  for (float& v : q) {
+    v = (static_cast<float>(rng.NextDouble()) + 0.5f) * scale;
+  }
+
+  auto draw = [&](std::vector<Rating>& out, size_t n) {
+    out.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      Rating r;
+      r.user = static_cast<uint32_t>(rng.NextBounded(users));
+      r.item = static_cast<uint32_t>(rng.NextBounded(items));
+      double value = 0;
+      for (size_t f = 0; f < rank; ++f) {
+        value += static_cast<double>(p[r.user * rank + f]) * q[r.item * rank + f];
+      }
+      value = value * 3.0 + 1.0 + rng.NextGaussian() * config.noise;
+      r.value = static_cast<float>(std::clamp(value, 1.0, 5.0));
+      out.push_back(r);
+    }
+  };
+
+  RatingsDataset data;
+  data.name = config.name;
+  data.users = config.users;
+  data.items = config.items;
+  data.rank = config.rank;
+  draw(data.train, config.train_n);
+  draw(data.test, config.test_n);
+  return data;
+}
+
+void ShuffleExamples(SparseDataset& data, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  rng.Shuffle(data.train.data(), data.train.size());
+}
+
+void ShuffleRatings(RatingsDataset& data, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  rng.Shuffle(data.train.data(), data.train.size());
+}
+
+void SortRatingsByItem(RatingsDataset& data) {
+  std::stable_sort(data.train.begin(), data.train.end(),
+                   [](const Rating& a, const Rating& b) { return a.item < b.item; });
+}
+
+}  // namespace malt

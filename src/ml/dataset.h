@@ -1,0 +1,107 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on RCV1, PASCAL alpha/webspam/DNA, splice-site,
+// Netflix and KDD12 (Table 2) — corpora we cannot ship. Each generator below
+// produces a scaled-down synthetic analog that preserves the properties SGD
+// convergence actually depends on: dimensionality, sparsity, margin/noise,
+// and (for ratings) the low-rank structure. The *Like() presets record the
+// mapping used by EXPERIMENTS.md.
+
+#ifndef SRC_ML_DATASET_H_
+#define SRC_ML_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace malt {
+
+// One classification example: sparse features, label in {-1, +1}.
+struct SparseExample {
+  std::vector<uint32_t> idx;
+  std::vector<float> val;
+  float label = 0;
+
+  size_t nnz() const { return idx.size(); }
+};
+
+struct SparseDataset {
+  std::string name;
+  size_t dim = 0;
+  std::vector<SparseExample> train;
+  std::vector<SparseExample> test;
+
+  double AvgNnz() const;
+};
+
+struct ClassificationConfig {
+  std::string name = "synthetic";
+  size_t dim = 1000;
+  size_t train_n = 10000;
+  size_t test_n = 1000;
+  size_t avg_nnz = 50;      // features per example (dim => dense)
+  double label_noise = 0.02;  // probability of a flipped label
+  double margin = 0.5;        // soft margin scale (smaller = harder)
+  // Feature popularity skew: 1.0 = uniform; larger concentrates activity on
+  // low feature ids (text corpora are Zipfian — a communication batch then
+  // touches far fewer distinct coordinates than uniform sampling would).
+  double feature_skew = 1.0;
+  uint64_t seed = 1;
+};
+
+// Linear ground truth w*, examples with `avg_nnz` active features, labels
+// sign(w*.x + noise) with flips. Convex, so SGD convergence is well
+// understood — exactly why the paper uses these suites for verification.
+SparseDataset MakeClassification(const ClassificationConfig& config);
+
+// Presets mirroring Table 2 (scaled so figures regenerate in seconds).
+ClassificationConfig Rcv1Like();      // document classification, 47k dims, sparse
+ClassificationConfig AlphaLike();     // PASCAL alpha: 500 dims, dense
+ClassificationConfig DnaLike();       // PASCAL DNA: 800 dims
+ClassificationConfig WebspamLike();   // 16.6M dims in the paper; high-dim sparse
+ClassificationConfig SpliceLike();    // splice-site: 11M dims, huge training set
+ClassificationConfig KddLike();       // KDD12 CTR features for the neural net
+
+// --- Ratings (matrix factorization; Netflix analog) --------------------------
+
+struct Rating {
+  uint32_t user = 0;
+  uint32_t item = 0;
+  float value = 0;
+};
+
+struct RatingsDataset {
+  std::string name;
+  int users = 0;
+  int items = 0;
+  int rank = 0;  // ground-truth latent dimension
+  std::vector<Rating> train;
+  std::vector<Rating> test;
+};
+
+struct RatingsConfig {
+  std::string name = "netflix-like";
+  int users = 600;
+  int items = 400;
+  int rank = 8;        // ground-truth latent rank
+  size_t train_n = 60000;
+  size_t test_n = 6000;
+  double noise = 0.1;
+  uint64_t seed = 3;
+};
+
+// Low-rank ground truth P*, Q*; ratings p_u . q_i + noise, clipped to [1, 5].
+RatingsDataset MakeRatings(const RatingsConfig& config);
+
+// Deterministic shuffling/sharding helpers.
+void ShuffleExamples(SparseDataset& data, uint64_t seed);
+void ShuffleRatings(RatingsDataset& data, uint64_t seed);
+
+// Sorts training ratings by item — the paper sorts the Netflix input by movie
+// and splits across ranks "to avoid conflicts" in distributed Hogwild (§6.1).
+void SortRatingsByItem(RatingsDataset& data);
+
+}  // namespace malt
+
+#endif  // SRC_ML_DATASET_H_

@@ -1,0 +1,74 @@
+// Small dense/sparse linear-algebra kernels used by the ML applications.
+//
+// Everything is float (model replicas ship floats over the wire) with double
+// accumulators where it matters. Each kernel documents its flop count so the
+// callers can charge the simulator's compute cost model.
+
+#ifndef SRC_ML_LINALG_H_
+#define SRC_ML_LINALG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace malt {
+
+// w . x for dense vectors (2n flops).
+inline double Dot(std::span<const float> a, std::span<const float> b) {
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+// w . x for sparse x (2*nnz flops).
+inline double SparseDot(std::span<const float> w, std::span<const uint32_t> idx,
+                        std::span<const float> val) {
+  double acc = 0;
+  for (size_t k = 0; k < idx.size(); ++k) {
+    acc += static_cast<double>(w[idx[k]]) * val[k];
+  }
+  return acc;
+}
+
+// y += a * x, dense (2n flops).
+inline void Axpy(float a, std::span<const float> x, std::span<float> y) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+// y[idx] += a * val, sparse (2*nnz flops).
+inline void SparseAxpy(float a, std::span<const uint32_t> idx, std::span<const float> val,
+                       std::span<float> y) {
+  for (size_t k = 0; k < idx.size(); ++k) {
+    y[idx[k]] += a * val[k];
+  }
+}
+
+// x *= a (n flops).
+inline void Scale(std::span<float> x, float a) {
+  for (float& v : x) {
+    v *= a;
+  }
+}
+
+// ||x||^2 (2n flops).
+inline double SquaredNorm(std::span<const float> x) {
+  double acc = 0;
+  for (float v : x) {
+    acc += static_cast<double>(v) * v;
+  }
+  return acc;
+}
+
+inline void Fill(std::span<float> x, float value) {
+  for (float& v : x) {
+    v = value;
+  }
+}
+
+}  // namespace malt
+
+#endif  // SRC_ML_LINALG_H_

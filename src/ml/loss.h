@@ -1,0 +1,53 @@
+// Loss functions and their derivatives.
+
+#ifndef SRC_ML_LOSS_H_
+#define SRC_ML_LOSS_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace malt {
+
+// Hinge loss for SVM: l(s, y) = max(0, 1 - y s).
+inline double HingeLoss(double score, double label) {
+  return std::max(0.0, 1.0 - label * score);
+}
+
+// dl/ds for hinge: -y if margin violated, else 0.
+inline double HingeGradient(double score, double label) {
+  return label * score < 1.0 ? -label : 0.0;
+}
+
+// Logistic loss: l(s, y) = log(1 + exp(-y s)), y in {-1, +1}.
+inline double LogisticLoss(double score, double label) {
+  const double z = -label * score;
+  // log1p(exp(z)) computed stably.
+  return z > 30 ? z : std::log1p(std::exp(z));
+}
+
+// dl/ds for logistic: -y * sigmoid(-y s).
+inline double LogisticGradient(double score, double label) {
+  const double z = -label * score;
+  const double sigmoid = z > 30 ? 1.0 : std::exp(z) / (1.0 + std::exp(z));
+  return -label * sigmoid;
+}
+
+// Squared loss: 0.5 (s - y)^2.
+inline double SquaredLoss(double score, double label) {
+  const double d = score - label;
+  return 0.5 * d * d;
+}
+
+inline double SquaredGradient(double score, double label) { return score - label; }
+
+inline double Sigmoid(double x) {
+  if (x >= 0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace malt
+
+#endif  // SRC_ML_LOSS_H_

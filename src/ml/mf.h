@@ -1,0 +1,74 @@
+// Matrix factorization by SGD (paper §4.1.2).
+//
+// Factorizes the ratings matrix R ~ P Q^T with latent dimension k. The
+// factors live in one flat caller-owned float array (a MaltVector's local
+// span) laid out [P (users x k) | Q (items x k)], so a replica can scatter
+// only the rows it touched (sparse updates) and apply peers' rows with the
+// replace UDF — the distributed Hogwild scheme the paper evaluates on
+// Netflix (Fig. 7).
+
+#ifndef SRC_ML_MF_H_
+#define SRC_ML_MF_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace malt {
+
+struct MfOptions {
+  int rank = 8;           // latent dimension
+  float lambda = 0.05f;   // L2 regularization
+  float eta0 = 0.05f;     // learning rate
+  // Learning-rate schedule (Fig. 7 compares both): kFixed keeps eta0;
+  // kByIter decays eta0 / (1 + t / decay_steps).
+  enum class Schedule { kFixed, kByIter } schedule = Schedule::kFixed;
+  double decay_steps = 200000;
+};
+
+class MfSgd {
+ public:
+  // `factors` must have (users + items) * rank floats.
+  MfSgd(std::span<float> factors, int users, int items, MfOptions options);
+
+  static size_t FactorCount(int users, int items, int rank) {
+    return (static_cast<size_t>(users) + static_cast<size_t>(items)) *
+           static_cast<size_t>(rank);
+  }
+
+  // Initializes factors to small positive values (deterministic in seed).
+  void InitFactors(uint64_t seed);
+
+  // One SGD step on one rating; returns the squared error before the update.
+  double TrainRating(const Rating& rating);
+
+  double Predict(uint32_t user, uint32_t item) const;
+  double TestRmse(std::span<const Rating> test) const;
+
+  // Flat indices of the P-row / Q-row for touched-row sparse scatter.
+  size_t UserOffset(uint32_t user) const { return static_cast<size_t>(user) * rank_; }
+  size_t ItemOffset(uint32_t item) const {
+    return (static_cast<size_t>(users_) + item) * rank_;
+  }
+  int rank() const { return static_cast<int>(rank_); }
+
+  double last_step_flops() const { return last_step_flops_; }
+  int64_t steps() const { return t_; }
+
+ private:
+  float LearningRate() const;
+
+  std::span<float> factors_;
+  size_t users_;
+  size_t items_;
+  size_t rank_;
+  MfOptions options_;
+  int64_t t_ = 0;
+  double last_step_flops_ = 0;
+};
+
+}  // namespace malt
+
+#endif  // SRC_ML_MF_H_

@@ -1,0 +1,30 @@
+#include "src/ml/svm.h"
+
+#include "src/ml/linalg.h"
+#include "src/ml/loss.h"
+
+namespace malt {
+
+double SvmSgd::TrainExample(const SparseExample& ex) {
+  ++t_;
+  const float eta = LearningRate();
+  const double score = SparseDot(w_, ex.idx, ex.val);
+  const double loss = HingeLoss(score, ex.label);
+
+  // L2 shrink applied to the touched coordinates only ("lazy" regularization:
+  // per-step cost stays O(nnz); on sparse data the untouched-coordinate decay
+  // is dominated by the gradient signal and convergence is unaffected, while
+  // the weight vector stays a plain float array that replicas can average).
+  const float shrink = eta * options_.lambda;
+  for (size_t k = 0; k < ex.idx.size(); ++k) {
+    w_[ex.idx[k]] -= shrink * w_[ex.idx[k]];
+  }
+  if (loss > 0) {
+    SparseAxpy(eta * ex.label, ex.idx, ex.val, w_);
+  }
+  // dot (2*nnz) + shrink (2*nnz) + update (2*nnz).
+  last_step_flops_ = 6.0 * static_cast<double>(ex.nnz());
+  return loss;
+}
+
+}  // namespace malt

@@ -1,0 +1,56 @@
+// SVM-SGD (Bottou) — the paper's primary application (§4.1.1).
+//
+// L2-regularized hinge loss minimized by stochastic gradient descent with
+// Bottou's learning-rate schedule eta_t = eta0 / (1 + lambda * eta0 * t).
+// The weight vector lives in caller-owned storage (normally a MaltVector's
+// local span) so the data-parallel wrapper can scatter/gather it directly.
+
+#ifndef SRC_ML_SVM_H_
+#define SRC_ML_SVM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/ml/dataset.h"
+
+namespace malt {
+
+struct SvmOptions {
+  float lambda = 1e-6f;  // L2 regularization (near-constant eta regime)
+  float eta0 = 0.3f;     // initial learning rate
+};
+
+class SvmSgd {
+ public:
+  SvmSgd(std::span<float> weights, SvmOptions options)
+      : w_(weights), options_(options) {}
+
+  // One SGD step on one example; returns the hinge loss before the update.
+  // Uses the sparse-regularization trick: the L2 shrink is applied via a
+  // global scale only to touched coordinates... kept explicit and simple
+  // here: shrink is folded into the touched coordinates' update plus a
+  // periodic full shrink, which keeps per-step cost O(nnz).
+  double TrainExample(const SparseExample& ex);
+
+  // Modeled flop count of the last TrainExample call (for the cost model).
+  double last_step_flops() const { return last_step_flops_; }
+
+  std::span<float> weights() { return w_; }
+  int64_t steps() const { return t_; }
+  void set_steps(int64_t t) { t_ = t; }
+
+ private:
+  float LearningRate() const {
+    return options_.eta0 /
+           (1.0f + options_.lambda * options_.eta0 * static_cast<float>(t_));
+  }
+
+  std::span<float> w_;
+  SvmOptions options_;
+  int64_t t_ = 0;
+  double last_step_flops_ = 0;
+};
+
+}  // namespace malt
+
+#endif  // SRC_ML_SVM_H_

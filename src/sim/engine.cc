@@ -1,0 +1,360 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+// ---------------------------------------------------------------------------
+// Concurrency model
+//
+// Exactly one thread touches simulator state at any instant: either the
+// scheduler (inside Run(), while every process thread is parked) or a single
+// process thread that owns the baton (while the scheduler is parked in a
+// condition wait). The mutex exists for the handoff protocol and for memory
+// visibility across handoffs; application state needs no further locking.
+// mu_ is recursive because event callbacks (run under the scheduler with the
+// lock held) may call ScheduleEvent().
+// ---------------------------------------------------------------------------
+
+void Process::Advance(SimDuration dt) {
+  MALT_CHECK(dt >= 0) << "Advance with negative duration " << dt;
+  // The baton guarantees exclusive access; the scheduler reads clock_ only
+  // after the state change inside YieldFromProcess (which synchronizes).
+  clock_ += dt;
+  engine_->YieldFromProcess(*this, ProcState::kRunnable);
+}
+
+void Process::Yield() { engine_->YieldFromProcess(*this, ProcState::kRunnable); }
+
+void Process::WaitUntil(std::function<bool()> pred) {
+  if (pred()) {
+    return;
+  }
+  pred_ = std::move(pred);
+  deadline_ = -1;
+  engine_->YieldFromProcess(*this, ProcState::kBlocked);
+}
+
+bool Process::WaitUntilOr(std::function<bool()> pred, SimTime deadline) {
+  if (pred()) {
+    return true;
+  }
+  if (deadline <= clock_) {
+    return false;
+  }
+  pred_ = std::move(pred);
+  deadline_ = deadline;
+  timed_out_ = false;
+  engine_->YieldFromProcess(*this, ProcState::kBlocked);
+  return !timed_out_;
+}
+
+void Process::SleepUntil(SimTime t) {
+  if (t <= clock_) {
+    return;
+  }
+  Advance(t - clock_);
+}
+
+void Process::CheckKilled() {
+  if (kill_pending_) {
+    throw ProcessKilled{pid_};
+  }
+}
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  // Run() joins all threads; if Run() was never called, no threads started.
+}
+
+int Engine::AddProcess(std::string name, std::function<void(Process&)> body) {
+  MALT_CHECK(!running_) << "AddProcess after Run()";
+  auto proc = std::unique_ptr<Process>(new Process());
+  proc->engine_ = this;
+  proc->pid_ = static_cast<int>(procs_.size());
+  proc->name_ = std::move(name);
+  proc->body_ = std::move(body);
+  procs_.push_back(std::move(proc));
+  return procs_.back()->pid_;
+}
+
+void Engine::ScheduleKill(int pid, SimTime when) {
+  // Validated at fire time: kills are routinely scheduled before processes
+  // are registered (test setup, experiment scripts).
+  ScheduleEvent(when, [this, pid] {
+    MALT_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size())) << "bad pid " << pid;
+    KillProcess(*procs_[static_cast<size_t>(pid)]);
+  });
+}
+
+void Engine::ScheduleEvent(SimTime when, std::function<void()> fn) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  events_.push(Event{when, next_event_seq_++, std::move(fn)});
+}
+
+void Engine::AddKillHook(std::function<void(int pid)> hook) {
+  kill_hooks_.push_back(std::move(hook));
+}
+
+bool Engine::alive(int pid) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const ProcState s = procs_[static_cast<size_t>(pid)]->state_;
+  return s != ProcState::kKilled;
+}
+
+ProcState Engine::state(int pid) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return procs_[static_cast<size_t>(pid)]->state_;
+}
+
+void Engine::YieldFromProcess(Process& p, ProcState new_state) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  p.state_ = new_state;
+  scheduler_cv_.notify_all();
+  p.cv_.wait(lock, [&p] { return p.state_ == ProcState::kRunning; });
+  lock.unlock();
+  p.CheckKilled();
+}
+
+void Engine::KillProcess(Process& p) {
+  // Runs in event context (scheduler thread, lock held).
+  if (p.state_ == ProcState::kDone || p.state_ == ProcState::kKilled || p.kill_pending_) {
+    return;
+  }
+  p.kill_pending_ = true;
+  p.clock_ = std::max(p.clock_, current_time_);
+  if (p.state_ == ProcState::kBlocked) {
+    // Wake it so the pending kill unwinds its stack.
+    p.state_ = ProcState::kRunnable;
+    p.pred_ = nullptr;
+    p.deadline_ = -1;
+  }
+  MALT_LOG_S(kInfo) << "sim: killing process " << p.pid_ << " (" << p.name_ << ") at t="
+                    << ToSeconds(current_time_) << "s";
+  for (const auto& hook : kill_hooks_) {
+    hook(p.pid_);
+  }
+}
+
+void Engine::ReevaluateBlocked(SimTime wake_time) {
+  for (const auto& proc : procs_) {
+    Process& p = *proc;
+    if (p.state_ != ProcState::kBlocked) {
+      continue;
+    }
+    if (p.pred_ && p.pred_()) {
+      p.state_ = ProcState::kRunnable;
+      p.pred_ = nullptr;
+      p.deadline_ = -1;
+      p.timed_out_ = false;
+      p.clock_ = std::max(p.clock_, wake_time);
+      ++stats_.wakeups;
+    }
+  }
+}
+
+void Engine::ApplyEvent(std::unique_lock<std::recursive_mutex>& lock, Event event) {
+  (void)lock;
+  // now() is the time of the current dispatch. It is not globally monotonic
+  // across dispatches (a coarse process slice may already have run past this
+  // event's time); consumers needing ordering use absolute event times.
+  current_time_ = event.when;
+  if (trace_enabled_) {
+    trace_.push_back("E@" + std::to_string(event.when));
+  }
+  if (capture_enabled_) {
+    event_times_.push_back(event.when);
+  }
+  event.fn();
+  ++stats_.events_applied;
+  ReevaluateBlocked(event.when);
+}
+
+void Engine::RunProcessSlice(std::unique_lock<std::recursive_mutex>& lock, Process& p) {
+  current_time_ = p.clock_;
+  if (trace_enabled_) {
+    trace_.push_back("P" + std::to_string(p.pid_) + "@" + std::to_string(p.clock_));
+  }
+  const SimTime slice_begin = p.clock_;
+  p.state_ = ProcState::kRunning;
+  p.cv_.notify_all();
+  scheduler_cv_.wait(lock, [&p] { return p.state_ != ProcState::kRunning; });
+  ++stats_.slices_run;
+  current_time_ = p.clock_;
+  if (capture_enabled_ && p.clock_ > slice_begin) {
+    slices_.push_back(Slice{p.pid_, slice_begin, p.clock_});
+  }
+  ReevaluateBlocked(p.clock_);
+}
+
+Status Engine::WriteChromeTrace(const std::string& path) const {
+  if (!capture_enabled_) {
+    return FailedPreconditionError("EnableScheduleCapture() was not called before Run()");
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return InternalError("cannot write '" + path + "'");
+  }
+  // Chrome trace format: JSON array of events; ts/dur are microseconds.
+  std::fputs("[\n", out);
+  bool first = true;
+  for (const Slice& s : slices_) {
+    std::fprintf(out, "%s{\"name\":\"compute\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+                      "\"ts\":%.3f,\"dur\":%.3f}",
+                 first ? "" : ",\n", s.pid, static_cast<double>(s.begin) / 1000.0,
+                 static_cast<double>(s.end - s.begin) / 1000.0);
+    first = false;
+  }
+  for (SimTime t : event_times_) {
+    std::fprintf(out, "%s{\"name\":\"net\",\"ph\":\"i\",\"pid\":0,\"tid\":-1,"
+                      "\"ts\":%.3f,\"s\":\"g\"}",
+                 first ? "" : ",\n", static_cast<double>(t) / 1000.0);
+    first = false;
+  }
+  for (const auto& proc : procs_) {
+    std::fprintf(out,
+                 "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",\n", proc->pid_, proc->name_.c_str());
+    first = false;
+  }
+  std::fputs("\n]\n", out);
+  const bool ok = std::fclose(out) == 0;
+  return ok ? OkStatus() : InternalError("write error on '" + path + "'");
+}
+
+void Engine::ReportDeadlock() {
+  std::string detail = "simulator deadlock; blocked processes:";
+  for (const auto& proc : procs_) {
+    if (proc->state_ == ProcState::kBlocked) {
+      detail += " " + proc->name_ + "(pid=" + std::to_string(proc->pid_) +
+                ",t=" + std::to_string(proc->clock_) + ")";
+    }
+  }
+  MALT_CHECK(false) << detail;
+  std::abort();  // unreachable; MALT_CHECK aborts
+}
+
+void Engine::Run() {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  MALT_CHECK(!running_) << "Engine::Run called twice";
+  running_ = true;
+
+  for (const auto& proc : procs_) {
+    Process* p = proc.get();
+    p->thread_ = std::thread([this, p] {
+      {
+        std::unique_lock<std::recursive_mutex> thread_lock(mu_);
+        p->cv_.wait(thread_lock, [p] { return p->state_ == ProcState::kRunning; });
+      }
+      bool killed = false;
+      try {
+        p->CheckKilled();
+        p->body_(*p);
+      } catch (const ProcessKilled&) {
+        killed = true;
+      }
+      {
+        std::lock_guard<std::recursive_mutex> thread_lock(mu_);
+        p->state_ = (killed || p->kill_pending_) ? ProcState::kKilled : ProcState::kDone;
+        scheduler_cv_.notify_all();
+      }
+    });
+  }
+
+  for (;;) {
+    // Pick the earliest actionable item. Tie order: events, then deadline
+    // expirations, then process slices — fixed so the schedule is
+    // deterministic.
+    const bool have_event = !events_.empty();
+    const SimTime event_time = have_event ? events_.top().when : 0;
+
+    Process* best_proc = nullptr;
+    Process* best_deadline = nullptr;
+    bool all_finished = true;
+    for (const auto& proc : procs_) {
+      Process& p = *proc;
+      if (p.state_ == ProcState::kRunnable) {
+        all_finished = false;
+        if (best_proc == nullptr || p.clock_ < best_proc->clock_) {
+          best_proc = &p;
+        }
+      } else if (p.state_ == ProcState::kBlocked) {
+        all_finished = false;
+        if (p.deadline_ >= 0 &&
+            (best_deadline == nullptr || p.deadline_ < best_deadline->deadline_)) {
+          best_deadline = &p;
+        }
+      }
+    }
+
+    if (all_finished) {
+      if (!have_event) {
+        break;
+      }
+      // Drain remaining events (e.g. in-flight writes after all ranks done).
+      Event event = events_.top();
+      events_.pop();
+      ApplyEvent(lock, std::move(event));
+      continue;
+    }
+
+    // Candidate times.
+    struct Choice {
+      SimTime t;
+      int category;  // 0 event, 1 deadline, 2 process
+    };
+    Choice chosen{0, -1};
+    if (have_event) {
+      chosen = {event_time, 0};
+    }
+    if (best_deadline != nullptr &&
+        (chosen.category < 0 || best_deadline->deadline_ < chosen.t)) {
+      chosen = {best_deadline->deadline_, 1};
+    }
+    if (best_proc != nullptr && (chosen.category < 0 || best_proc->clock_ < chosen.t)) {
+      chosen = {best_proc->clock_, 2};
+    }
+    if (chosen.category < 0) {
+      ReportDeadlock();
+    }
+
+    switch (chosen.category) {
+      case 0: {
+        Event event = events_.top();
+        events_.pop();
+        ApplyEvent(lock, std::move(event));
+        break;
+      }
+      case 1: {
+        Process& p = *best_deadline;
+        p.state_ = ProcState::kRunnable;
+        p.timed_out_ = true;
+        p.pred_ = nullptr;
+        p.clock_ = std::max(p.clock_, p.deadline_);
+        p.deadline_ = -1;
+        current_time_ = std::max(current_time_, p.clock_);
+        break;
+      }
+      case 2: {
+        RunProcessSlice(lock, *best_proc);
+        break;
+      }
+      default:
+        ReportDeadlock();
+    }
+  }
+
+  lock.unlock();
+  for (const auto& proc : procs_) {
+    if (proc->thread_.joinable()) {
+      proc->thread_.join();
+    }
+  }
+}
+
+}  // namespace malt

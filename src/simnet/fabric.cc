@@ -1,0 +1,227 @@
+#include "src/simnet/fabric.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+int64_t TrafficStats::TotalBytes() const {
+  int64_t total = 0;
+  for (int64_t b : tx_bytes_) {
+    total += b;
+  }
+  return total;
+}
+
+int64_t TrafficStats::TotalMessages() const {
+  int64_t total = 0;
+  for (int64_t m : tx_msgs_) {
+    total += m;
+  }
+  return total;
+}
+
+Fabric::Fabric(Engine& engine, int nodes, FabricOptions options)
+    : engine_(engine),
+      nodes_(nodes),
+      options_(options),
+      stats_(nodes),
+      regions_(static_cast<size_t>(nodes)),
+      cq_(static_cast<size_t>(nodes)),
+      outstanding_(static_cast<size_t>(nodes), 0),
+      nic_busy_until_(static_cast<size_t>(nodes), 0),
+      alive_(static_cast<size_t>(nodes), true),
+      unreachable_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes), false) {
+  engine_.AddKillHook([this](int pid) { OnKill(pid); });
+}
+
+void Fabric::OnKill(int pid) {
+  if (pid < 0 || pid >= nodes_) {
+    return;  // auxiliary process (not a fabric node)
+  }
+  alive_[static_cast<size_t>(pid)] = false;
+  // The HCA is gone: local regions stop accepting remote writes.
+  for (auto& region : regions_[static_cast<size_t>(pid)]) {
+    if (region != nullptr) {
+      region->registered = false;
+    }
+  }
+}
+
+MrHandle Fabric::RegisterMemory(int node, size_t bytes) {
+  MALT_CHECK(node >= 0 && node < nodes_) << "bad node " << node;
+  auto region = std::make_unique<Region>();
+  region->bytes.resize(bytes);
+  auto& list = regions_[static_cast<size_t>(node)];
+  list.push_back(std::move(region));
+  return MrHandle{node, static_cast<uint32_t>(list.size() - 1)};
+}
+
+void Fabric::DeregisterMemory(MrHandle mr) {
+  MALT_CHECK(mr.valid()) << "deregister of invalid handle";
+  regions_[static_cast<size_t>(mr.node)][mr.rkey]->registered = false;
+}
+
+std::span<std::byte> Fabric::Data(MrHandle mr) {
+  MALT_CHECK(mr.valid()) << "data access through invalid handle";
+  Region& region = *regions_[static_cast<size_t>(mr.node)][mr.rkey];
+  return std::span<std::byte>(region.bytes.data(), region.bytes.size());
+}
+
+bool Fabric::HasSendRoom(int node) const {
+  return outstanding_[static_cast<size_t>(node)] < options_.send_queue_depth;
+}
+
+int Fabric::OutstandingWrites(int node) const { return outstanding_[static_cast<size_t>(node)]; }
+
+void Fabric::SetReachable(int a, int b, bool reachable) {
+  unreachable_[static_cast<size_t>(a) * static_cast<size_t>(nodes_) + static_cast<size_t>(b)] =
+      !reachable;
+  unreachable_[static_cast<size_t>(b) * static_cast<size_t>(nodes_) + static_cast<size_t>(a)] =
+      !reachable;
+}
+
+bool Fabric::Reachable(int a, int b) const {
+  return !unreachable_[static_cast<size_t>(a) * static_cast<size_t>(nodes_) +
+                       static_cast<size_t>(b)];
+}
+
+void Fabric::DeliverCompletion(int src, uint64_t wr_id, int dst, WcStatus status, SimTime when) {
+  engine_.ScheduleEvent(when, [this, src, wr_id, dst, status] {
+    if (!alive_[static_cast<size_t>(src)]) {
+      return;  // sender died meanwhile; nobody polls this CQ
+    }
+    cq_[static_cast<size_t>(src)].push_back(Completion{wr_id, dst, status});
+    outstanding_[static_cast<size_t>(src)] -= 1;
+  });
+}
+
+Result<uint64_t> Fabric::PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+                                   std::span<const std::byte> data) {
+  MALT_CHECK(src >= 0 && src < nodes_) << "bad src " << src;
+  if (!dst_mr.valid()) {
+    return InvalidArgumentError("invalid destination memory handle");
+  }
+  if (!HasSendRoom(src)) {
+    return ResourceExhaustedError("send queue full on node " + std::to_string(src));
+  }
+  const int dst = dst_mr.node;
+  const uint64_t wr_id = next_wr_id_++;
+
+  // NIC serialization: back-to-back posts queue behind one another; this is
+  // what lets the network-saturation test (§6.2) observe line rate.
+  const SimTime depart = std::max(now, nic_busy_until_[static_cast<size_t>(src)]);
+  const SimTime dma_done = depart + options_.net.SerializationDelay(data.size());
+  nic_busy_until_[static_cast<size_t>(src)] = dma_done;
+  const SimTime arrival = dma_done + options_.net.latency;
+  const SimTime ack = arrival + options_.net.latency;
+
+  outstanding_[static_cast<size_t>(src)] += 1;
+  stats_.Record(src, dst, data.size());
+
+  // DMA snapshot: the payload is captured at post time, so the application
+  // may immediately reuse its buffer (same contract as a copying send; the
+  // zero-copy variant would pin the buffer until completion).
+  auto payload = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+
+  auto apply_payload = [this, dst_mr, dst_offset, payload](size_t from, size_t to) {
+    Region& region = *regions_[static_cast<size_t>(dst_mr.node)][dst_mr.rkey];
+    if (!region.registered) {
+      return false;
+    }
+    if (dst_offset + payload->size() > region.bytes.size()) {
+      return false;
+    }
+    std::memcpy(region.bytes.data() + dst_offset + from, payload->data() + from, to - from);
+    return true;
+  };
+
+  const bool split = options_.torn_writes && payload->size() >= 2;
+  const size_t half = payload->size() / 2;
+  const SimTime second_half_at = arrival + options_.net.latency;
+
+  engine_.ScheduleEvent(arrival, [this, src, dst, wr_id, ack, apply_payload, split, half,
+                                  second_half_at, payload] {
+    WcStatus status = WcStatus::kSuccess;
+    if (!alive_[static_cast<size_t>(dst)]) {
+      status = WcStatus::kRemoteDead;
+    } else if (!Reachable(src, dst)) {
+      status = WcStatus::kUnreachable;
+    } else {
+      const bool ok = split ? apply_payload(0, half) : apply_payload(0, payload->size());
+      if (!ok) {
+        status = WcStatus::kInvalidRkey;
+      } else if (split) {
+        // Second half lands one latency later — a reader in between observes
+        // a torn write, which the dstorm sequence stamps detect.
+        engine_.ScheduleEvent(second_half_at, [apply_payload, half, payload] {
+          (void)apply_payload(half, payload->size());
+        });
+      }
+    }
+    DeliverCompletion(src, wr_id, dst, status, ack);
+  });
+  return wr_id;
+}
+
+Result<uint64_t> Fabric::PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+                                      std::span<const float> values) {
+  MALT_CHECK(src >= 0 && src < nodes_) << "bad src " << src;
+  if (!dst_mr.valid()) {
+    return InvalidArgumentError("invalid destination memory handle");
+  }
+  if (!HasSendRoom(src)) {
+    return ResourceExhaustedError("send queue full on node " + std::to_string(src));
+  }
+  const int dst = dst_mr.node;
+  const uint64_t wr_id = next_wr_id_++;
+  const size_t bytes = values.size_bytes();
+
+  const SimTime depart = std::max(now, nic_busy_until_[static_cast<size_t>(src)]);
+  const SimTime dma_done = depart + options_.net.SerializationDelay(bytes);
+  nic_busy_until_[static_cast<size_t>(src)] = dma_done;
+  const SimTime arrival = dma_done + options_.net.latency;
+  const SimTime ack = arrival + options_.net.latency;
+
+  outstanding_[static_cast<size_t>(src)] += 1;
+  stats_.Record(src, dst, bytes);
+
+  auto payload = std::make_shared<std::vector<float>>(values.begin(), values.end());
+  engine_.ScheduleEvent(arrival, [this, src, dst, dst_mr, dst_offset, wr_id, ack, payload] {
+    WcStatus status = WcStatus::kSuccess;
+    Region& region = *regions_[static_cast<size_t>(dst_mr.node)][dst_mr.rkey];
+    if (!alive_[static_cast<size_t>(dst)]) {
+      status = WcStatus::kRemoteDead;
+    } else if (!Reachable(src, dst)) {
+      status = WcStatus::kUnreachable;
+    } else if (!region.registered ||
+               dst_offset + payload->size() * sizeof(float) > region.bytes.size() ||
+               dst_offset % sizeof(float) != 0) {
+      status = WcStatus::kInvalidRkey;
+    } else {
+      // The HCA applies the adds atomically with respect to other network
+      // operations (events are serialized by the engine).
+      auto* dst_floats = reinterpret_cast<float*>(region.bytes.data() + dst_offset);
+      for (size_t i = 0; i < payload->size(); ++i) {
+        dst_floats[i] += (*payload)[i];
+      }
+    }
+    DeliverCompletion(src, wr_id, dst, status, ack);
+  });
+  return wr_id;
+}
+
+int Fabric::PollCq(int node, std::span<Completion> out) {
+  auto& queue = cq_[static_cast<size_t>(node)];
+  int produced = 0;
+  while (produced < static_cast<int>(out.size()) && !queue.empty()) {
+    out[static_cast<size_t>(produced)] = queue.front();
+    queue.pop_front();
+    ++produced;
+  }
+  return produced;
+}
+
+}  // namespace malt

@@ -1,0 +1,258 @@
+#include "src/simnet/gaspi.h"
+
+#include <cstring>
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+namespace {
+
+constexpr size_t kNotifyBytes =
+    static_cast<size_t>(1024) * sizeof(gaspi_notification_t);  // == kNotificationsPerSegment
+
+SimTime DeadlineFor(Process& proc, gaspi_timeout_t timeout) {
+  if (timeout == GASPI_BLOCK) {
+    return std::numeric_limits<SimTime>::max();
+  }
+  return proc.now() + timeout;
+}
+
+}  // namespace
+
+GaspiRuntime::GaspiRuntime(Engine& engine, Fabric& fabric, int ranks)
+    : engine_(engine), fabric_(fabric) {
+  procs_.reserve(static_cast<size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    auto proc = std::unique_ptr<GaspiProc>(new GaspiProc());
+    proc->runtime_ = this;
+    proc->rank_ = static_cast<gaspi_rank_t>(rank);
+    procs_.push_back(std::move(proc));
+  }
+}
+
+gaspi_return_t GaspiProc::proc_rank(gaspi_rank_t* rank) const {
+  *rank = rank_;
+  return GASPI_SUCCESS;
+}
+
+gaspi_return_t GaspiProc::proc_num(gaspi_rank_t* num) const {
+  *num = static_cast<gaspi_rank_t>(runtime_->ranks());
+  return GASPI_SUCCESS;
+}
+
+gaspi_return_t GaspiProc::segment_create(gaspi_segment_id_t segment_id, gaspi_size_t size) {
+  MALT_CHECK(proc_ != nullptr) << "GaspiProc not bound to a process";
+  auto& mrs = runtime_->segment_mrs_;
+  auto& sizes = runtime_->segment_sizes_;
+  if (mrs.size() <= segment_id) {
+    mrs.resize(static_cast<size_t>(segment_id) + 1);
+    sizes.resize(static_cast<size_t>(segment_id) + 1, 0);
+  }
+  if (mrs[segment_id].empty()) {
+    // First creator registers the segment (data + notification array) on
+    // every rank — GASPI segment creation is collective.
+    sizes[segment_id] = size;
+    for (int rank = 0; rank < runtime_->ranks(); ++rank) {
+      mrs[segment_id].push_back(
+          runtime_->fabric_.RegisterMemory(rank, static_cast<size_t>(size) + kNotifyBytes));
+    }
+  } else if (sizes[segment_id] != size) {
+    return GASPI_ERROR;  // mismatched collective create
+  }
+  if (segments_.size() <= segment_id) {
+    segments_.resize(static_cast<size_t>(segment_id) + 1);
+  }
+  segments_[segment_id].mr = mrs[segment_id][rank_];
+  segments_[segment_id].data_size = size;
+  return GASPI_SUCCESS;
+}
+
+gaspi_return_t GaspiProc::segment_ptr(gaspi_segment_id_t segment_id, void** ptr) const {
+  if (segment_id >= segments_.size() || !segments_[segment_id].mr.valid()) {
+    return GASPI_ERROR;
+  }
+  *ptr = runtime_->fabric_.Data(segments_[segment_id].mr).data();
+  return GASPI_SUCCESS;
+}
+
+gaspi_return_t GaspiProc::PostBytes(gaspi_rank_t rank, gaspi_segment_id_t segment_remote,
+                                    gaspi_offset_t offset_remote,
+                                    std::span<const std::byte> bytes, gaspi_queue_id_t queue) {
+  if (queue >= GASPI_MAX_QUEUES || segment_remote >= runtime_->segment_mrs_.size() ||
+      rank >= runtime_->ranks()) {
+    return GASPI_ERROR;
+  }
+  const MrHandle dst = runtime_->segment_mrs_[segment_remote][rank];
+  // GASPI posts block while the queue is full; model with fabric send room.
+  proc_->WaitUntil([this] { return runtime_->fabric_.HasSendRoom(rank_); });
+  Result<uint64_t> wr =
+      runtime_->fabric_.PostWrite(rank_, proc_->now(), dst, offset_remote, bytes);
+  if (!wr.ok()) {
+    return GASPI_ERROR;
+  }
+  wr_queue_[*wr] = queue;
+  queue_outstanding_[queue] += 1;
+  return GASPI_SUCCESS;
+}
+
+gaspi_return_t GaspiProc::write(gaspi_segment_id_t segment_local, gaspi_offset_t offset_local,
+                                gaspi_rank_t rank, gaspi_segment_id_t segment_remote,
+                                gaspi_offset_t offset_remote, gaspi_size_t size,
+                                gaspi_queue_id_t queue, gaspi_timeout_t timeout) {
+  (void)timeout;  // posting is asynchronous; waiting happens in wait()
+  if (segment_local >= segments_.size() || !segments_[segment_local].mr.valid()) {
+    return GASPI_ERROR;
+  }
+  if (offset_local + size > segments_[segment_local].data_size) {
+    return GASPI_ERROR;
+  }
+  std::span<std::byte> local = runtime_->fabric_.Data(segments_[segment_local].mr);
+  return PostBytes(rank, segment_remote, offset_remote,
+                   local.subspan(offset_local, size), queue);
+}
+
+gaspi_return_t GaspiProc::notify(gaspi_segment_id_t segment_remote, gaspi_rank_t rank,
+                                 gaspi_notification_id_t notification_id,
+                                 gaspi_notification_t value, gaspi_queue_id_t queue,
+                                 gaspi_timeout_t timeout) {
+  (void)timeout;
+  if (value == 0 || notification_id >= GaspiRuntime::kNotificationsPerSegment) {
+    return GASPI_ERROR;  // 0 is reserved for "no notification"
+  }
+  const gaspi_size_t data_size = runtime_->segment_sizes_[segment_remote];
+  std::byte wire[sizeof(gaspi_notification_t)];
+  std::memcpy(wire, &value, sizeof(value));
+  return PostBytes(rank, segment_remote,
+                   data_size + static_cast<gaspi_offset_t>(notification_id) * sizeof(value),
+                   wire, queue);
+}
+
+gaspi_return_t GaspiProc::notify_waitsome(gaspi_segment_id_t segment,
+                                          gaspi_notification_id_t begin,
+                                          gaspi_notification_id_t num,
+                                          gaspi_notification_id_t* first_id,
+                                          gaspi_timeout_t timeout) {
+  if (segment >= segments_.size() || !segments_[segment].mr.valid()) {
+    return GASPI_ERROR;
+  }
+  const Segment& seg = segments_[segment];
+  auto scan = [this, &seg, begin, num, first_id] {
+    std::span<std::byte> mem = runtime_->fabric_.Data(seg.mr);
+    const auto* slots = reinterpret_cast<const gaspi_notification_t*>(
+        mem.data() + seg.data_size);
+    for (gaspi_notification_id_t id = begin; id < begin + num; ++id) {
+      if (slots[id] != 0) {
+        *first_id = id;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (timeout == GASPI_BLOCK) {
+    proc_->WaitUntil(scan);
+    return GASPI_SUCCESS;
+  }
+  return proc_->WaitUntilOr(scan, DeadlineFor(*proc_, timeout)) ? GASPI_SUCCESS : GASPI_TIMEOUT;
+}
+
+gaspi_return_t GaspiProc::notify_reset(gaspi_segment_id_t segment,
+                                       gaspi_notification_id_t notification_id,
+                                       gaspi_notification_t* old_value) {
+  if (segment >= segments_.size() || !segments_[segment].mr.valid()) {
+    return GASPI_ERROR;
+  }
+  const Segment& seg = segments_[segment];
+  std::span<std::byte> mem = runtime_->fabric_.Data(seg.mr);
+  auto* slot = reinterpret_cast<gaspi_notification_t*>(
+      mem.data() + seg.data_size +
+      static_cast<size_t>(notification_id) * sizeof(gaspi_notification_t));
+  *old_value = *slot;
+  *slot = 0;
+  return GASPI_SUCCESS;
+}
+
+gaspi_return_t GaspiProc::wait(gaspi_queue_id_t queue, gaspi_timeout_t timeout) {
+  if (queue >= GASPI_MAX_QUEUES) {
+    return GASPI_ERROR;
+  }
+  auto drained = [this, queue] {
+    // Harvest all completions, attributing them to their queues.
+    Completion batch[32];
+    for (;;) {
+      const int n = runtime_->fabric_.PollCq(rank_, batch);
+      if (n == 0) {
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        auto it = wr_queue_.find(batch[i].wr_id);
+        if (it == wr_queue_.end()) {
+          continue;
+        }
+        queue_outstanding_[it->second] -= 1;
+        if (batch[i].status != WcStatus::kSuccess) {
+          queue_error_[it->second] = true;
+        }
+        wr_queue_.erase(it);
+      }
+    }
+    return queue_outstanding_[queue] == 0;
+  };
+  if (timeout == GASPI_BLOCK) {
+    proc_->WaitUntil(drained);
+  } else if (!proc_->WaitUntilOr(drained, DeadlineFor(*proc_, timeout))) {
+    return GASPI_TIMEOUT;
+  }
+  if (queue_error_[queue]) {
+    queue_error_[queue] = false;  // spec: error state clears once reported
+    return GASPI_ERROR;
+  }
+  return GASPI_SUCCESS;
+}
+
+gaspi_return_t GaspiProc::barrier(gaspi_timeout_t timeout) {
+  // Built from the API's own primitives: every rank notifies its reserved
+  // slot on every rank with the current round, then waits for all slots.
+  MALT_CHECK(!segments_.empty() && segments_[0].mr.valid())
+      << "gaspi barrier requires segment 0 to exist";
+  const uint64_t round = ++barrier_round_;
+  const auto value = static_cast<gaspi_notification_t>(round);
+  const auto my_slot =
+      static_cast<gaspi_notification_id_t>(GaspiRuntime::kBarrierNotifyBase + rank_);
+  for (int rank = 0; rank < runtime_->ranks(); ++rank) {
+    gaspi_return_t ret = GASPI_SUCCESS;
+    if (rank == static_cast<int>(rank_)) {
+      // Local arrival: direct store (a remote write to self would also work).
+      std::span<std::byte> mem = runtime_->fabric_.Data(segments_[0].mr);
+      std::memcpy(mem.data() + segments_[0].data_size +
+                      static_cast<size_t>(my_slot) * sizeof(value),
+                  &value, sizeof(value));
+    } else {
+      ret = notify(0, static_cast<gaspi_rank_t>(rank), my_slot, value, 0, timeout);
+    }
+    if (ret != GASPI_SUCCESS) {
+      return ret;
+    }
+  }
+  const Segment& seg = segments_[0];
+  auto all_arrived = [this, &seg, round] {
+    std::span<std::byte> mem = runtime_->fabric_.Data(seg.mr);
+    const auto* slots =
+        reinterpret_cast<const gaspi_notification_t*>(mem.data() + seg.data_size);
+    for (int rank = 0; rank < runtime_->ranks(); ++rank) {
+      if (slots[GaspiRuntime::kBarrierNotifyBase + rank] < round) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (timeout == GASPI_BLOCK) {
+    proc_->WaitUntil(all_arrived);
+    return GASPI_SUCCESS;
+  }
+  return proc_->WaitUntilOr(all_arrived, DeadlineFor(*proc_, timeout)) ? GASPI_SUCCESS
+                                                                       : GASPI_TIMEOUT;
+}
+
+}  // namespace malt

@@ -1,0 +1,142 @@
+// GASPI compatibility layer.
+//
+// The paper implements dstorm over GASPI (Global Address Space Programming
+// Interface), the PGAS API for one-sided RDMA on InfiniBand. This header
+// mirrors the GASPI calls dstorm consumes — segment create/ptr, one-sided
+// write, queue wait, notifications, barrier — over the simulated fabric,
+// with GASPI's C-style signatures and return codes. It serves two purposes:
+//  1. porting seam: code written against this API moves to real GASPI (GPI-2)
+//     by swapping the runtime object for the system library;
+//  2. fidelity check: the dstorm protocol is implementable in terms of pure
+//     GASPI primitives (see tests/test_simnet_gaspi.cc).
+//
+// Deviations from GPI-2: the runtime is an object (no global process state —
+// many simulated ranks live in one OS process), and only the subset dstorm
+// needs is provided.
+
+#ifndef SRC_SIMNET_GASPI_H_
+#define SRC_SIMNET_GASPI_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/simnet/fabric.h"
+
+namespace malt {
+
+using gaspi_rank_t = uint16_t;
+using gaspi_segment_id_t = uint8_t;
+using gaspi_queue_id_t = uint8_t;
+using gaspi_notification_id_t = uint16_t;
+using gaspi_notification_t = uint32_t;  // 0 is reserved ("no notification")
+using gaspi_offset_t = uint64_t;
+using gaspi_size_t = uint64_t;
+using gaspi_timeout_t = int64_t;  // virtual nanoseconds
+
+enum gaspi_return_t {
+  GASPI_SUCCESS = 0,
+  GASPI_TIMEOUT = 1,
+  GASPI_ERROR = 2,
+};
+
+inline constexpr gaspi_timeout_t GASPI_BLOCK = -1;
+inline constexpr int GASPI_MAX_QUEUES = 8;
+
+class GaspiRuntime;
+
+// Per-rank GASPI process handle; bind to the rank's simulator Process before
+// any call (the analog of gaspi_proc_init).
+class GaspiProc {
+ public:
+  void Bind(Process& proc) { proc_ = &proc; }
+
+  gaspi_return_t proc_rank(gaspi_rank_t* rank) const;
+  gaspi_return_t proc_num(gaspi_rank_t* num) const;
+
+  // Collective: allocates `size` bytes of remotely writable memory plus the
+  // notification array on EVERY rank under `segment_id`.
+  gaspi_return_t segment_create(gaspi_segment_id_t segment_id, gaspi_size_t size);
+
+  // Local pointer to this rank's segment memory.
+  gaspi_return_t segment_ptr(gaspi_segment_id_t segment_id, void** ptr) const;
+
+  // One-sided write: local segment bytes -> remote rank's segment.
+  gaspi_return_t write(gaspi_segment_id_t segment_local, gaspi_offset_t offset_local,
+                       gaspi_rank_t rank, gaspi_segment_id_t segment_remote,
+                       gaspi_offset_t offset_remote, gaspi_size_t size,
+                       gaspi_queue_id_t queue, gaspi_timeout_t timeout);
+
+  // Posts a notification value to the remote rank's notification slot.
+  gaspi_return_t notify(gaspi_segment_id_t segment_remote, gaspi_rank_t rank,
+                        gaspi_notification_id_t notification_id, gaspi_notification_t value,
+                        gaspi_queue_id_t queue, gaspi_timeout_t timeout);
+
+  // Blocks until one notification in [begin, begin+num) is nonzero; its id is
+  // returned through first_id.
+  gaspi_return_t notify_waitsome(gaspi_segment_id_t segment, gaspi_notification_id_t begin,
+                                 gaspi_notification_id_t num,
+                                 gaspi_notification_id_t* first_id, gaspi_timeout_t timeout);
+
+  // Atomically reads and clears a notification slot.
+  gaspi_return_t notify_reset(gaspi_segment_id_t segment,
+                              gaspi_notification_id_t notification_id,
+                              gaspi_notification_t* old_value);
+
+  // Blocks until every outstanding request on `queue` has completed. Any
+  // errored request turns the whole wait into GASPI_ERROR (per spec).
+  gaspi_return_t wait(gaspi_queue_id_t queue, gaspi_timeout_t timeout);
+
+  // Barrier over all ranks (GASPI_GROUP_ALL).
+  gaspi_return_t barrier(gaspi_timeout_t timeout);
+
+ private:
+  friend class GaspiRuntime;
+  GaspiProc() = default;
+
+  struct Segment {
+    MrHandle mr;             // data + trailing notification array
+    gaspi_size_t data_size = 0;
+  };
+
+  gaspi_return_t PostBytes(gaspi_rank_t rank, gaspi_segment_id_t segment_remote,
+                           gaspi_offset_t offset_remote, std::span<const std::byte> bytes,
+                           gaspi_queue_id_t queue);
+
+  GaspiRuntime* runtime_ = nullptr;
+  Process* proc_ = nullptr;
+  gaspi_rank_t rank_ = 0;
+  // segment_id -> state (segments are dense small ids per the GASPI spec).
+  std::vector<Segment> segments_;
+  std::vector<int> queue_outstanding_ = std::vector<int>(GASPI_MAX_QUEUES, 0);
+  std::vector<bool> queue_error_ = std::vector<bool>(GASPI_MAX_QUEUES, false);
+  std::map<uint64_t, gaspi_queue_id_t> wr_queue_;  // wr_id -> owning queue
+  uint64_t barrier_round_ = 0;
+};
+
+// Owns the per-rank handles; the analog of the GASPI job environment.
+class GaspiRuntime {
+ public:
+  GaspiRuntime(Engine& engine, Fabric& fabric, int ranks);
+
+  GaspiProc& proc(int rank) { return *procs_[static_cast<size_t>(rank)]; }
+  int ranks() const { return static_cast<int>(procs_.size()); }
+
+ private:
+  friend class GaspiProc;
+
+  static constexpr gaspi_notification_id_t kNotificationsPerSegment = 1024;
+  static constexpr gaspi_notification_id_t kBarrierNotifyBase = kNotificationsPerSegment - 256;
+
+  Engine& engine_;
+  Fabric& fabric_;
+  std::vector<std::unique_ptr<GaspiProc>> procs_;
+  // segment_id -> per-rank MR handles (filled collectively at create).
+  std::vector<std::vector<MrHandle>> segment_mrs_;
+  std::vector<gaspi_size_t> segment_sizes_;
+};
+
+}  // namespace malt
+
+#endif  // SRC_SIMNET_GASPI_H_

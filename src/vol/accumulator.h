@@ -1,0 +1,54 @@
+// GradientAccumulator — the VOL-level handle for NIC-aggregated gradient
+// exchange (the paper's §8 future-work fetch_and_add primitive, implemented
+// by Fabric::PostFloatAdd / Dstorm accumulator segments).
+//
+// Unlike MaltVector, there are no per-sender queues and no gather fold: the
+// NIC adds every incoming contribution into one accumulator as it arrives,
+// so Drain() costs a single copy regardless of fan-in.
+
+#ifndef SRC_VOL_ACCUMULATOR_H_
+#define SRC_VOL_ACCUMULATOR_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/comm/graph.h"
+#include "src/dstorm/dstorm.h"
+
+namespace malt {
+
+class GradientAccumulator {
+ public:
+  // Collective: every replica must create accumulators in the same order
+  // with the same dim/graph.
+  GradientAccumulator(Dstorm& dstorm, std::string name, size_t dim, const Graph& graph)
+      : dstorm_(dstorm), name_(std::move(name)), dim_(dim) {
+    segment_ = dstorm_.CreateAccumulator(dim, graph);
+  }
+
+  GradientAccumulator(GradientAccumulator&&) = default;
+
+  const std::string& name() const { return name_; }
+  size_t dim() const { return dim_; }
+
+  // Adds `values` (dim floats) into every live out-neighbor's accumulator.
+  Status ScatterAdd(std::span<const float> values) {
+    return dstorm_.ScatterAdd(segment_, values);
+  }
+
+  // Copies this replica's accumulated sum into `out` and resets it; returns
+  // the number of contributions folded by the NIC since the last drain.
+  int64_t Drain(std::span<float> out) { return dstorm_.DrainAccumulator(segment_, out); }
+
+ private:
+  Dstorm& dstorm_;
+  std::string name_;
+  size_t dim_;
+  SegmentId segment_;
+};
+
+}  // namespace malt
+
+#endif  // SRC_VOL_ACCUMULATOR_H_

@@ -1,0 +1,243 @@
+#include "src/vol/malt_vector.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+namespace {
+
+// Sparse wire format: u32 nnz | u32 idx[nnz] | f32 val[nnz].
+size_t SparseWireBytes(size_t max_nnz) { return 4 + max_nnz * 8; }
+
+}  // namespace
+
+MaltVector::MaltVector(Dstorm& dstorm, MaltVectorOptions options)
+    : dstorm_(dstorm), options_(std::move(options)) {
+  MALT_CHECK(options_.dim > 0) << "vector '" << options_.name << "' needs dim > 0";
+  if (options_.max_nnz == 0 || options_.max_nnz > options_.dim) {
+    options_.max_nnz = options_.dim;
+  }
+  MALT_CHECK(options_.graph.size() == dstorm_.world())
+      << "vector '" << options_.name << "': graph size mismatch";
+
+  obj_bytes_ = options_.layout == Layout::kDense ? options_.dim * sizeof(float)
+                                                 : SparseWireBytes(options_.max_nnz);
+  SegmentOptions seg;
+  seg.obj_bytes = obj_bytes_;
+  seg.graph = options_.graph;
+  seg.queue_depth = options_.queue_depth;
+  segment_ = dstorm_.CreateSegment(seg);
+  local_.assign(options_.dim, 0.0f);
+  wire_.resize(obj_bytes_);
+}
+
+Status MaltVector::EncodeAndScatter(std::span<const int>* dsts) {
+  std::span<const std::byte> payload;
+  if (options_.layout == Layout::kDense) {
+    payload = std::as_bytes(std::span<const float>(local_));
+  } else {
+    // Encode nonzero entries.
+    uint32_t nnz = 0;
+    auto* idx_out = reinterpret_cast<uint32_t*>(wire_.data() + 4);
+    for (uint32_t i = 0; i < options_.dim; ++i) {
+      if (local_[i] != 0.0f) {
+        if (nnz == options_.max_nnz) {
+          return ResourceExhaustedError("vector '" + options_.name + "': nnz exceeds max_nnz=" +
+                                        std::to_string(options_.max_nnz));
+        }
+        idx_out[nnz++] = i;
+      }
+    }
+    std::memcpy(wire_.data(), &nnz, 4);
+    auto* val_out = reinterpret_cast<float*>(wire_.data() + 4 + nnz * 4);
+    for (uint32_t k = 0; k < nnz; ++k) {
+      val_out[k] = local_[idx_out[k]];
+    }
+    payload = std::span<const std::byte>(wire_.data(), 4 + static_cast<size_t>(nnz) * 8);
+  }
+  if (dsts == nullptr) {
+    return dstorm_.Scatter(segment_, payload, iteration_);
+  }
+  return dstorm_.ScatterTo(segment_, *dsts, payload, iteration_);
+}
+
+Status MaltVector::Scatter() { return EncodeAndScatter(nullptr); }
+
+Status MaltVector::ScatterIndices(std::span<const uint32_t> indices) {
+  if (options_.layout != Layout::kSparse) {
+    return FailedPreconditionError("ScatterIndices requires a sparse vector");
+  }
+  if (indices.size() > options_.max_nnz) {
+    return ResourceExhaustedError("vector '" + options_.name + "': " +
+                                  std::to_string(indices.size()) + " indices exceed max_nnz=" +
+                                  std::to_string(options_.max_nnz));
+  }
+  const uint32_t nnz = static_cast<uint32_t>(indices.size());
+  std::memcpy(wire_.data(), &nnz, 4);
+  auto* idx_out = reinterpret_cast<uint32_t*>(wire_.data() + 4);
+  auto* val_out = reinterpret_cast<float*>(wire_.data() + 4 + static_cast<size_t>(nnz) * 4);
+  for (uint32_t k = 0; k < nnz; ++k) {
+    idx_out[k] = indices[k];
+    val_out[k] = local_[indices[k]];
+  }
+  const std::span<const std::byte> payload(wire_.data(), 4 + static_cast<size_t>(nnz) * 8);
+  return dstorm_.Scatter(segment_, payload, iteration_);
+}
+
+Status MaltVector::ScatterTo(std::span<const int> dsts) { return EncodeAndScatter(&dsts); }
+
+std::vector<MaltVector::Decoded> MaltVector::Collect(int64_t min_iter) {
+  std::vector<Decoded> updates;
+  dstorm_.Gather(segment_, [&](const RecvObject& obj) {
+    Decoded d;
+    d.sender = obj.sender;
+    d.iter = obj.iter;
+    if (options_.layout == Layout::kDense) {
+      if (obj.bytes.size() != options_.dim * sizeof(float)) {
+        MALT_LOG_S(kWarning) << "vector '" << options_.name << "': dropping malformed update ("
+                             << obj.bytes.size() << " bytes)";
+        return;
+      }
+      d.values = std::span<const float>(reinterpret_cast<const float*>(obj.bytes.data()),
+                                        options_.dim);
+    } else {
+      if (obj.bytes.size() < 4) {
+        return;
+      }
+      uint32_t nnz;
+      std::memcpy(&nnz, obj.bytes.data(), 4);
+      if (obj.bytes.size() < 4 + static_cast<size_t>(nnz) * 8) {
+        MALT_LOG_S(kWarning) << "vector '" << options_.name << "': truncated sparse update";
+        return;
+      }
+      d.indices = std::span<const uint32_t>(
+          reinterpret_cast<const uint32_t*>(obj.bytes.data() + 4), nnz);
+      d.values = std::span<const float>(
+          reinterpret_cast<const float*>(obj.bytes.data() + 4 + nnz * 4), nnz);
+    }
+    updates.push_back(d);
+  });
+  if (min_iter >= 0) {
+    std::erase_if(updates, [min_iter](const Decoded& d) {
+      return static_cast<int64_t>(d.iter) < min_iter;
+    });
+  }
+  return updates;
+}
+
+GatherResult MaltVector::FoldAll(const std::vector<Decoded>& updates, const FoldFn& fold) {
+  GatherResult result;
+  for (const Decoded& d : updates) {
+    IncomingUpdate update{d.sender, d.iter, d.indices, d.values};
+    fold(local_, update);
+    ++result.received;
+    result.values_folded += static_cast<int64_t>(d.values.size());
+    const int64_t iter = static_cast<int64_t>(d.iter);
+    result.min_iter = result.min_iter < 0 ? iter : std::min(result.min_iter, iter);
+    result.max_iter = std::max(result.max_iter, iter);
+  }
+  return result;
+}
+
+GatherResult MaltVector::GatherAverage(int64_t min_iter) {
+  std::vector<Decoded> updates = Collect(min_iter);
+  if (updates.empty()) {
+    return GatherResult{};
+  }
+  GatherResult result;
+  result.received = static_cast<int>(updates.size());
+  for (const Decoded& d : updates) {
+    result.values_folded += static_cast<int64_t>(d.values.size());
+    const int64_t iter = static_cast<int64_t>(d.iter);
+    result.min_iter = result.min_iter < 0 ? iter : std::min(result.min_iter, iter);
+    result.max_iter = std::max(result.max_iter, iter);
+  }
+
+  // local = (local + sum incoming) / (1 + k). For sparse updates only the
+  // touched coordinates participate (per-coordinate k = number of updates
+  // touching it); untouched coordinates keep the local value — standard
+  // sparse parameter mixing.
+  if (options_.layout == Layout::kDense) {
+    const float scale = 1.0f / (1.0f + static_cast<float>(updates.size()));
+    std::vector<double> acc(local_.begin(), local_.end());
+    for (const Decoded& d : updates) {
+      for (size_t i = 0; i < d.values.size(); ++i) {
+        acc[i] += d.values[i];
+      }
+    }
+    for (size_t i = 0; i < local_.size(); ++i) {
+      local_[i] = static_cast<float>(acc[i] * scale);
+    }
+    return result;
+  }
+
+  std::vector<float> sum(options_.dim, 0.0f);
+  std::vector<int> count(options_.dim, 0);
+  for (const Decoded& d : updates) {
+    for (size_t k = 0; k < d.indices.size(); ++k) {
+      sum[d.indices[k]] += d.values[k];
+      count[d.indices[k]] += 1;
+    }
+  }
+  for (uint32_t i = 0; i < options_.dim; ++i) {
+    if (count[i] > 0) {
+      local_[i] = (local_[i] + sum[i]) / (1.0f + static_cast<float>(count[i]));
+    }
+  }
+  return result;
+}
+
+GatherResult MaltVector::GatherSum(int64_t min_iter) {
+  return GatherCustom(
+      [](std::span<float> local, const IncomingUpdate& u) {
+    if (u.indices.empty()) {
+      for (size_t i = 0; i < u.values.size(); ++i) {
+        local[i] += u.values[i];
+      }
+    } else {
+      for (size_t k = 0; k < u.indices.size(); ++k) {
+        local[u.indices[k]] += u.values[k];
+      }
+    }
+  },
+      min_iter);
+}
+
+GatherResult MaltVector::GatherReplace(int64_t min_iter) {
+  return GatherCustom(
+      [](std::span<float> local, const IncomingUpdate& u) {
+    if (u.indices.empty()) {
+      for (size_t i = 0; i < u.values.size(); ++i) {
+        local[i] = u.values[i];
+      }
+    } else {
+      for (size_t k = 0; k < u.indices.size(); ++k) {
+        local[u.indices[k]] = u.values[k];
+      }
+    }
+  },
+      min_iter);
+}
+
+GatherResult MaltVector::GatherCustom(const FoldFn& fold, int64_t min_iter) {
+  return FoldAll(Collect(min_iter), fold);
+}
+
+int64_t MaltVector::MinPeerIteration() const {
+  int64_t min_iter = std::numeric_limits<int64_t>::max();
+  bool any = false;
+  for (int sender : options_.graph.InEdges(dstorm_.rank())) {
+    if (!dstorm_.InGroup(sender)) {
+      continue;
+    }
+    min_iter = std::min(min_iter, dstorm_.PeerIteration(segment_, sender));
+    any = true;
+  }
+  return any ? min_iter : -1;
+}
+
+}  // namespace malt

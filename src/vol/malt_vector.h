@@ -1,0 +1,153 @@
+// VOL — Vector Object Library (paper §3.2, Table 1).
+//
+// A MaltVector is the developer-facing handle for a model-parameter or
+// gradient vector that is shared across replicas. Creating one creates a
+// dstorm segment whose dataflow graph describes how updates propagate.
+// scatter() pushes this replica's current vector (one-sided writes);
+// gather() folds everything that has arrived locally using a user-selected
+// UDF (average, sum, replace/Hogwild, or a custom function).
+//
+// Representation: dense vectors ship all `dim` floats; sparse vectors ship
+// (index, value) pairs for the nonzero entries (capacity `max_nnz`).
+
+#ifndef SRC_VOL_MALT_VECTOR_H_
+#define SRC_VOL_MALT_VECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/comm/graph.h"
+#include "src/dstorm/dstorm.h"
+
+namespace malt {
+
+enum class Layout : uint8_t {
+  kDense = 0,
+  kSparse = 1,
+};
+
+// Summary of one gather: how many peer objects were folded, and the range of
+// iteration stamps seen (drives staleness decisions).
+struct GatherResult {
+  int received = 0;          // peer objects folded
+  int64_t values_folded = 0; // total float entries folded (fold-cost proxy)
+  int64_t min_iter = -1;
+  int64_t max_iter = -1;
+};
+
+// Custom fold callback: `incoming` is the decoded update from `sender`
+// (dense view for dense vectors; for sparse vectors `indices` is non-empty
+// and `incoming` holds the matching values).
+struct IncomingUpdate {
+  int sender = -1;
+  uint32_t iter = 0;
+  std::span<const uint32_t> indices;  // empty for dense vectors
+  std::span<const float> values;
+};
+using FoldFn = std::function<void(std::span<float> local, const IncomingUpdate& update)>;
+
+struct MaltVectorOptions {
+  std::string name = "v";
+  size_t dim = 0;
+  Layout layout = Layout::kDense;
+  size_t max_nnz = 0;   // sparse capacity; 0 = dim
+  int queue_depth = 4;  // per-sender receive queue depth
+  Graph graph;          // dataflow (must be strongly connected)
+};
+
+class MaltVector {
+ public:
+  // Collective: every replica must create the same vectors in the same order
+  // with matching options.
+  MaltVector(Dstorm& dstorm, MaltVectorOptions options);
+
+  MaltVector(MaltVector&&) = default;
+
+  const std::string& name() const { return options_.name; }
+  size_t dim() const { return options_.dim; }
+  Layout layout() const { return options_.layout; }
+
+  // The local primary copy (Fig. 1: replica i trains using V_i).
+  std::span<float> data() { return local_; }
+  std::span<const float> data() const { return local_; }
+
+  // Iteration stamp attached to outgoing updates (the paper's model updates
+  // "carry an iteration count in the header", §3.2).
+  void set_iteration(uint32_t iter) { iteration_ = iter; }
+  uint32_t iteration() const { return iteration_; }
+
+  // --- Table 1 API -----------------------------------------------------------
+
+  // Pushes the local vector along the dataflow graph (g.scatter()).
+  Status Scatter();
+  // Pushes to an explicit destination subset (fine-grained dataflow).
+  Status ScatterTo(std::span<const int> dsts);
+  // Sparse vectors only: pushes just the named coordinates (e.g. the factor
+  // rows touched during the last batch — the distributed-Hogwild pattern).
+  // `indices` need not be sorted; duplicates are sent as-is.
+  Status ScatterIndices(std::span<const uint32_t> indices);
+
+  // All gathers accept `min_iter`: updates with an older iteration stamp are
+  // discarded, the ASP mode that "skips merging updates from stragglers"
+  // (§6.1). The default -1 folds everything.
+  //
+  // g.gather(AVG): local = (local + sum of fresh peer updates) / (1 + k).
+  GatherResult GatherAverage(int64_t min_iter = -1);
+  // local += sum of fresh peer updates.
+  GatherResult GatherSum(int64_t min_iter = -1);
+  // Hogwild-style: incoming entries overwrite local ones (per arrival order).
+  GatherResult GatherReplace(int64_t min_iter = -1);
+  // User-defined fold.
+  GatherResult GatherCustom(const FoldFn& fold, int64_t min_iter = -1);
+
+  // g.barrier(): synchronous mode support.
+  Status Barrier(SimDuration timeout = 0) { return dstorm_.Barrier(timeout); }
+
+  // Newest iteration stamp visible from each live in-neighbor; the minimum
+  // bounds how stale the slowest peer is (SSP gate input). Returns -1 when a
+  // peer has not sent anything yet.
+  int64_t MinPeerIteration() const;
+
+  // True when a gather would fold at least one fresh update (poll predicate).
+  bool FreshAvailable() const { return dstorm_.FreshAvailable(segment_); }
+
+  // Peer updates lost to overwrite-on-full (sequence gaps seen at gather).
+  int64_t LostUpdates() const { return dstorm_.LostUpdates(segment_); }
+
+  // Bytes one scatter sends per destination (for traffic intuition/tests).
+  size_t wire_bytes() const { return obj_bytes_; }
+
+  Dstorm& dstorm() { return dstorm_; }
+  const Graph& graph() const { return options_.graph; }
+
+ private:
+  struct Decoded {
+    int sender;
+    uint32_t iter;
+    std::span<const uint32_t> indices;
+    std::span<const float> values;
+  };
+
+  // Collects fresh decoded updates. Spans point into the receive region,
+  // which is stable until this process yields to the scheduler — the fold
+  // runs synchronously, so no copy is needed.
+  std::vector<Decoded> Collect(int64_t min_iter);
+  GatherResult FoldAll(const std::vector<Decoded>& updates, const FoldFn& fold);
+  Status EncodeAndScatter(std::span<const int>* dsts);
+
+  Dstorm& dstorm_;
+  MaltVectorOptions options_;
+  size_t obj_bytes_;
+  SegmentId segment_;
+  std::vector<float> local_;
+  std::vector<std::byte> wire_;  // scatter encode buffer
+  uint32_t iteration_ = 0;
+};
+
+}  // namespace malt
+
+#endif  // SRC_VOL_MALT_VECTOR_H_

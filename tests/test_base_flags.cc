@@ -1,0 +1,71 @@
+#include "src/base/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace malt {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return argv;
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  Flags flags;
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.GetInt("ranks", 10), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.1), 0.1);
+  EXPECT_EQ(flags.GetString("graph", "all"), "all");
+  EXPECT_TRUE(flags.GetBool("sync", true));
+  flags.Finish();
+}
+
+TEST(Flags, EqualsForm) {
+  std::vector<std::string> args = {"prog", "--ranks=20", "--lr=0.5", "--graph=halton",
+                                   "--sync=false"};
+  auto argv = MakeArgv(args);
+  Flags flags;
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.GetInt("ranks", 10), 20);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.1), 0.5);
+  EXPECT_EQ(flags.GetString("graph", "all"), "halton");
+  EXPECT_FALSE(flags.GetBool("sync", true));
+  flags.Finish();
+}
+
+TEST(Flags, SpaceSeparatedForm) {
+  std::vector<std::string> args = {"prog", "--ranks", "8"};
+  auto argv = MakeArgv(args);
+  Flags flags;
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.GetInt("ranks", 10), 8);
+  flags.Finish();
+}
+
+TEST(Flags, BareBooleanFlag) {
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = MakeArgv(args);
+  Flags flags;
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  flags.Finish();
+}
+
+TEST(FlagsDeathTest, UnknownFlagAborts) {
+  std::vector<std::string> args = {"prog", "--nonsense=1"};
+  auto argv = MakeArgv(args);
+  Flags flags;
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  (void)flags.GetInt("ranks", 1);
+  EXPECT_DEATH(flags.Finish(), "unknown flag");
+}
+
+}  // namespace
+}  // namespace malt

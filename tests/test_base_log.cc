@@ -1,0 +1,42 @@
+#include "src/base/log.h"
+
+#include <gtest/gtest.h>
+
+namespace malt {
+namespace {
+
+TEST(Log, LevelGate) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kWarning);  // restore for other tests
+}
+
+TEST(Log, StreamingMacroCompilesAndFilters) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  // The streamed expression must not be evaluated when filtered out.
+  MALT_LOG_S(kInfo) << "never emitted " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(LogDeathTest, CheckAborts) {
+  EXPECT_DEATH({ MALT_CHECK(1 + 1 == 3) << "math broke"; }, "check failed");
+}
+
+TEST(Log, CheckPassesSilently) {
+  MALT_CHECK(true) << "not printed";  // must not abort
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace malt

@@ -1,0 +1,83 @@
+#include "src/base/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace malt {
+namespace {
+
+TEST(RingBuffer, PushPopFifo) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_TRUE(ring.TryPush(3));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.Pop(), 1);
+  EXPECT_EQ(ring.Pop(), 2);
+  EXPECT_TRUE(ring.TryPush(4));
+  EXPECT_EQ(ring.Pop(), 3);
+  EXPECT_EQ(ring.Pop(), 4);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, TryPushFailsWhenFull) {
+  RingBuffer<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.TryPush(3));
+  EXPECT_EQ(ring.Pop(), 1);
+}
+
+TEST(RingBuffer, PushOverwriteEvictsOldest) {
+  RingBuffer<int> ring(3);
+  EXPECT_FALSE(ring.PushOverwrite(1));
+  EXPECT_FALSE(ring.PushOverwrite(2));
+  EXPECT_FALSE(ring.PushOverwrite(3));
+  EXPECT_TRUE(ring.PushOverwrite(4));  // evicts 1
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.Pop(), 2);
+  EXPECT_EQ(ring.Pop(), 3);
+  EXPECT_EQ(ring.Pop(), 4);
+}
+
+TEST(RingBuffer, AtIndexesOldestFirst) {
+  RingBuffer<std::string> ring(3);
+  ring.PushOverwrite("a");
+  ring.PushOverwrite("b");
+  ring.PushOverwrite("c");
+  ring.PushOverwrite("d");
+  EXPECT_EQ(ring.At(0), "b");
+  EXPECT_EQ(ring.At(1), "c");
+  EXPECT_EQ(ring.At(2), "d");
+  EXPECT_EQ(ring.Front(), "b");
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> ring(2);
+  ring.PushOverwrite(1);
+  ring.PushOverwrite(2);
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.TryPush(9));
+  EXPECT_EQ(ring.Pop(), 9);
+}
+
+TEST(RingBuffer, WrapAroundStress) {
+  RingBuffer<int> ring(5);
+  int next_pop = 0;
+  int next_push = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!ring.full()) {
+      ring.TryPush(next_push++);
+    }
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(ring.Pop(), next_pop++);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace malt

@@ -1,0 +1,112 @@
+#include "src/base/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace malt {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    seen.insert(va);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BoundedIsUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextBounded(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Xoshiro256, BoundedRespectsBound) {
+  Xoshiro256 rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  double sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, ShuffleIsPermutation) {
+  Xoshiro256 rng(17);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(v.data(), v.size());
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Xoshiro256, ShuffleDeterministic) {
+  std::vector<int> a = {1, 2, 3, 4, 5};
+  std::vector<int> b = a;
+  Xoshiro256 ra(99);
+  Xoshiro256 rb(99);
+  ra.Shuffle(a.data(), a.size());
+  rb.Shuffle(b.data(), b.size());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace malt

@@ -1,0 +1,92 @@
+#include "src/base/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace malt {
+namespace {
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, PercentilesRoughlyCorrect) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(static_cast<double>(i % 100));
+  }
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_NEAR(h.Percentile(50), 50.0, 2.0);
+  EXPECT_NEAR(h.Percentile(90), 90.0, 2.0);
+  EXPECT_NEAR(h.Percentile(0), 0.5, 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0, 10, 10);
+  h.Add(-5);
+  h.Add(100);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_LT(h.Percentile(0), 1.0);
+  EXPECT_GT(h.Percentile(100), 9.0);
+}
+
+TEST(Series, AddAndFirstCrossing) {
+  Series s;
+  s.label = "loss";
+  s.Add(0, 1.0);
+  s.Add(1, 0.5);
+  s.Add(2, 0.2);
+  s.Add(3, 0.1);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(FirstCrossing(s, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(FirstCrossing(s, 0.15), 3.0);
+  EXPECT_DOUBLE_EQ(FirstCrossing(s, 0.01), -1.0);
+}
+
+}  // namespace
+}  // namespace malt

@@ -1,0 +1,136 @@
+// Parameter-server baseline tests: protocol liveness, convergence, the
+// wait-time property (workers block, MALT peers don't), traffic shape, and
+// the MR-SVM configuration helper.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/svm_app.h"
+#include "src/baselines/mr_svm.h"
+#include "src/baselines/param_server.h"
+#include "src/ml/dataset.h"
+
+namespace malt {
+namespace {
+
+SparseDataset PsData() {
+  ClassificationConfig config;
+  config.dim = 3000;
+  config.train_n = 8000;
+  config.test_n = 500;
+  config.avg_nnz = 40;
+  config.margin = 0.3;
+  return MakeClassification(config);
+}
+
+TEST(ParamServer, GradientPushConverges) {
+  const SparseDataset data = PsData();
+  PsSvmConfig config;
+  config.data = &data;
+  config.epochs = 4;
+  config.cb_size = 500;
+  config.evals_per_epoch = 1;
+  MaltOptions options;
+  options.ranks = 5;  // server + 4 workers
+  PsRunResult result = RunPsSvm(options, config);
+  EXPECT_LT(result.final_loss, 0.7);
+  EXPECT_GT(result.final_accuracy, 0.65);
+  EXPECT_GT(result.seconds_total, 0.0);
+}
+
+TEST(ParamServer, ModelPushConverges) {
+  const SparseDataset data = PsData();
+  PsSvmConfig config;
+  config.data = &data;
+  config.epochs = 4;
+  config.cb_size = 500;
+  config.push = PsSvmConfig::Push::kModel;
+  config.evals_per_epoch = 1;
+  MaltOptions options;
+  options.ranks = 5;
+  PsRunResult result = RunPsSvm(options, config);
+  EXPECT_LT(result.final_loss, 0.75);
+}
+
+TEST(ParamServer, WorkersWaitMaltDoesNot) {
+  const SparseDataset data = PsData();
+  PsSvmConfig ps_config;
+  ps_config.data = &data;
+  ps_config.epochs = 3;
+  ps_config.cb_size = 500;
+  ps_config.evals_per_epoch = 1;
+  MaltOptions ps_options;
+  ps_options.ranks = 5;
+  const PsRunResult ps = RunPsSvm(ps_options, ps_config);
+  EXPECT_GT(ps.worker_wait_seconds, 0.0) << "PS clients must block for the pulled model";
+
+  SvmAppConfig malt_config;
+  malt_config.data = &data;
+  malt_config.epochs = 3;
+  malt_config.cb_size = 500;
+  malt_config.evals_per_epoch = 1;
+  MaltOptions malt_options;
+  malt_options.ranks = 4;
+  malt_options.sync = SyncMode::kASP;
+  malt_options.graph = GraphKind::kHalton;
+  const SvmRunResult malt = RunSvm(malt_options, malt_config);
+  EXPECT_EQ(malt.time_barrier, 0.0) << "async MALT replicas never block";
+}
+
+TEST(ParamServer, PullsWholeModelsTrafficShape) {
+  // Each worker pull is a whole dense model regardless of update sparsity.
+  const SparseDataset data = PsData();
+  PsSvmConfig config;
+  config.data = &data;
+  config.epochs = 2;
+  config.cb_size = 500;
+  config.sparse_push = true;
+  config.evals_per_epoch = 1;
+  MaltOptions options;
+  options.ranks = 3;  // 2 workers
+  const PsRunResult result = RunPsSvm(options, config);
+  // 2 epochs x 8000 examples / cb 500 = 32 pushes; each reply is a
+  // 3000-float model (12 KB) plus slot framing.
+  const int64_t min_model_bytes = 32LL * 3000 * 4;
+  EXPECT_GT(result.total_bytes, min_model_bytes);
+}
+
+TEST(ParamServer, RequiresAtLeastOneWorker) {
+  const SparseDataset data = PsData();
+  PsSvmConfig config;
+  config.data = &data;
+  MaltOptions options;
+  options.ranks = 1;
+  EXPECT_DEATH((void)RunPsSvm(options, config), "server");
+}
+
+TEST(MrSvm, ConfigIsOneRoundPerEpoch) {
+  const SparseDataset data = PsData();
+  const SvmAppConfig config = MrSvmConfig(data, /*ranks=*/4, /*epochs=*/3);
+  EXPECT_EQ(config.average, SvmAppConfig::Average::kModel);
+  EXPECT_GT(config.cb_size, static_cast<int>(data.train.size() / 4));
+  EXPECT_EQ(config.epochs, 3);
+}
+
+TEST(MrSvm, RunsAndConverges) {
+  const SparseDataset data = PsData();
+  SvmAppConfig config = MrSvmConfig(data, 4, 6);
+  config.data = &data;
+  config.evals_per_epoch = 1;
+  MaltOptions options;
+  options.ranks = 4;
+  options.sync = SyncMode::kBSP;
+  const SvmRunResult result = RunSvm(options, config);
+  EXPECT_LT(result.final_loss, 0.75);
+  // One-shot averaging: communication rounds = epochs, so traffic is tiny
+  // compared with a cb=250 run.
+  SvmAppConfig frequent = config;
+  frequent.cb_size = 250;
+  MaltOptions options2;
+  options2.ranks = 4;
+  options2.sync = SyncMode::kBSP;
+  const SvmRunResult frequent_result = RunSvm(options2, frequent);
+  EXPECT_LT(result.total_bytes, frequent_result.total_bytes / 4);
+}
+
+}  // namespace
+}  // namespace malt

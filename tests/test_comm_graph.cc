@@ -1,0 +1,158 @@
+// Graph/dataflow tests, including the property sweeps over N for the Halton
+// construction (connectivity, degree, and traffic-count asymptotics).
+
+#include "src/comm/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace malt {
+namespace {
+
+TEST(Graph, AddEdgeIgnoresSelfAndDuplicates) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 1);
+  EXPECT_EQ(g.EdgeCount(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+  ASSERT_EQ(g.InEdges(1).size(), 1u);
+  EXPECT_EQ(g.InEdges(1)[0], 0);
+}
+
+TEST(Graph, StronglyConnectedDetectsPartition) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  EXPECT_FALSE(g.StronglyConnected());
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(g.StronglyConnected());  // no way back
+  g.AddEdge(3, 0);
+  EXPECT_TRUE(g.StronglyConnected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  EXPECT_TRUE(Graph(1).StronglyConnected());
+}
+
+TEST(Graph, AllToAllShape) {
+  const int n = 6;
+  Graph g = AllToAllGraph(n);
+  EXPECT_EQ(g.EdgeCount(), n * (n - 1));  // Fig. 2: O(N^2)
+  EXPECT_TRUE(g.StronglyConnected());
+  EXPECT_EQ(g.MaxOutDegree(), n - 1);
+}
+
+TEST(Graph, HaltonMatchesPaperExampleN6) {
+  // Paper Fig. 3: with N=6, node i sends to log(N)=2 nodes: i + N/2, i + N/4.
+  Graph g = HaltonGraph(6);
+  EXPECT_TRUE(g.HasEdge(0, 3));  // 0 + 6/2
+  EXPECT_TRUE(g.HasEdge(0, 1));  // 0 + 6/4 = 1 (floor)
+  EXPECT_TRUE(g.HasEdge(1, 4));
+  EXPECT_TRUE(g.HasEdge(5, 2));  // wraps mod N
+  EXPECT_EQ(g.MaxOutDegree(), 2);
+  EXPECT_EQ(g.EdgeCount(), 12);  // N log N
+}
+
+TEST(Graph, HaltonOffsetsSequence) {
+  // First offsets for N=8: N/2=4, N/4=2, 3N/4=6, N/8=1, ...
+  const std::vector<int> offsets = HaltonOffsets(8, 4);
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 4);
+  EXPECT_EQ(offsets[1], 2);
+  EXPECT_EQ(offsets[2], 6);
+  EXPECT_EQ(offsets[3], 1);
+}
+
+TEST(Graph, HaltonNumberBase2) {
+  EXPECT_DOUBLE_EQ(HaltonNumber(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(HaltonNumber(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(HaltonNumber(3, 2), 0.75);
+  EXPECT_DOUBLE_EQ(HaltonNumber(4, 2), 0.125);
+  EXPECT_DOUBLE_EQ(HaltonNumber(5, 2), 0.625);
+}
+
+class HaltonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaltonSweep, ConnectedWithLogDegree) {
+  const int n = GetParam();
+  Graph g = HaltonGraph(n);
+  EXPECT_TRUE(g.StronglyConnected()) << "n=" << n;
+  // Out-degree stays at floor(log2 n) (one offset may be swapped for the
+  // ring offset to preserve connectivity).
+  const int expected_degree = std::max(1, static_cast<int>(std::floor(std::log2(n))));
+  EXPECT_LE(g.MaxOutDegree(), expected_degree) << "n=" << n;
+  // Fig. 13 asymptotics: Halton sends O(N log N) updates per round vs the
+  // all-to-all O(N^2).
+  EXPECT_LE(g.EdgeCount(), static_cast<int64_t>(n) * expected_degree);
+  if (n >= 10) {
+    EXPECT_LT(g.EdgeCount(), AllToAllGraph(n).EdgeCount() / 2) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(N2To64, HaltonSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32, 48, 64));
+
+class RandomGraphSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphSweep, ConnectedAndDeterministic) {
+  const int n = GetParam();
+  const int k = 2;
+  Graph a = RandomRegularGraph(n, k, 1234);
+  Graph b = RandomRegularGraph(n, k, 1234);
+  EXPECT_TRUE(a.StronglyConnected());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  for (int node = 0; node < n; ++node) {
+    EXPECT_EQ(a.OutEdges(node).size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomGraphSweep, ::testing::Values(4, 8, 16, 32));
+
+TEST(Graph, RingIsMinimal) {
+  Graph g = RingGraph(5);
+  EXPECT_EQ(g.EdgeCount(), 5);
+  EXPECT_TRUE(g.StronglyConnected());
+}
+
+TEST(Graph, ParameterServerStar) {
+  Graph g = ParameterServerGraph(5, 0);
+  EXPECT_TRUE(g.StronglyConnected());
+  EXPECT_EQ(g.OutEdges(0).size(), 4u);   // server pushes models to workers
+  EXPECT_EQ(g.OutEdges(3).size(), 1u);   // worker pushes gradients to server
+  EXPECT_EQ(g.OutEdges(3)[0], 0);
+}
+
+TEST(Graph, FromSpecParses) {
+  auto g = GraphFromSpec(3, "0>1,1>2,2>0");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 0));
+  EXPECT_TRUE(g->StronglyConnected());
+}
+
+TEST(Graph, FromSpecRejectsDisconnected) {
+  auto g = GraphFromSpec(3, "0>1,1>0");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Graph, FromSpecRejectsMalformed) {
+  EXPECT_EQ(GraphFromSpec(3, "0-1").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(GraphFromSpec(3, "0>9").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Graph, InducedSubgraphRelabels) {
+  Graph g = AllToAllGraph(4);
+  Graph sub = g.InducedSubgraph({0, 2, 3});
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.EdgeCount(), 6);
+  EXPECT_TRUE(sub.StronglyConnected());
+}
+
+}  // namespace
+}  // namespace malt

@@ -1,0 +1,150 @@
+// Dataset generator tests: shape, determinism, learnability signal, skew.
+
+#include "src/ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace malt {
+namespace {
+
+TEST(Dataset, ShapeMatchesConfig) {
+  ClassificationConfig config;
+  config.dim = 100;
+  config.train_n = 500;
+  config.test_n = 50;
+  config.avg_nnz = 10;
+  SparseDataset data = MakeClassification(config);
+  EXPECT_EQ(data.train.size(), 500u);
+  EXPECT_EQ(data.test.size(), 50u);
+  EXPECT_EQ(data.dim, 100u);
+  EXPECT_NEAR(data.AvgNnz(), 10.0, 1.0);
+  for (const SparseExample& ex : data.train) {
+    EXPECT_TRUE(ex.label == 1.0f || ex.label == -1.0f);
+    for (uint32_t i : ex.idx) {
+      EXPECT_LT(i, 100u);
+    }
+    // Indices sorted ascending (codec relies on it being a set).
+    for (size_t k = 1; k < ex.idx.size(); ++k) {
+      EXPECT_LT(ex.idx[k - 1], ex.idx[k]);
+    }
+  }
+}
+
+TEST(Dataset, DeterministicInSeed) {
+  ClassificationConfig config;
+  config.dim = 50;
+  config.train_n = 100;
+  config.test_n = 10;
+  config.avg_nnz = 5;
+  SparseDataset a = MakeClassification(config);
+  SparseDataset b = MakeClassification(config);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].idx, b.train[i].idx);
+    EXPECT_EQ(a.train[i].val, b.train[i].val);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+  config.seed = 999;
+  SparseDataset c = MakeClassification(config);
+  int diff = 0;
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    diff += a.train[i].idx != c.train[i].idx ? 1 : 0;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST(Dataset, LabelsRoughlyBalanced) {
+  SparseDataset data = MakeClassification(ClassificationConfig{});
+  int positive = 0;
+  for (const SparseExample& ex : data.train) {
+    positive += ex.label > 0 ? 1 : 0;
+  }
+  const double fraction = static_cast<double>(positive) / data.train.size();
+  EXPECT_GT(fraction, 0.4);
+  EXPECT_LT(fraction, 0.6);
+}
+
+TEST(Dataset, SkewConcentratesFeatures) {
+  ClassificationConfig uniform;
+  uniform.dim = 10000;
+  uniform.train_n = 200;
+  uniform.test_n = 1;
+  uniform.avg_nnz = 50;
+  ClassificationConfig skewed = uniform;
+  skewed.feature_skew = 4.0;
+
+  auto distinct = [](const SparseDataset& d) {
+    std::set<uint32_t> seen;
+    for (const SparseExample& ex : d.train) {
+      seen.insert(ex.idx.begin(), ex.idx.end());
+    }
+    return seen.size();
+  };
+  const size_t uniform_distinct = distinct(MakeClassification(uniform));
+  const size_t skewed_distinct = distinct(MakeClassification(skewed));
+  EXPECT_LT(static_cast<double>(skewed_distinct), 0.8 * static_cast<double>(uniform_distinct))
+      << "skew should shrink the touched set";
+}
+
+TEST(Dataset, DensePresetIsDense) {
+  SparseDataset data = MakeClassification(AlphaLike());
+  EXPECT_EQ(data.train[0].nnz(), data.dim);
+}
+
+class PresetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresetSweep, AllPresetsGenerate) {
+  static const ClassificationConfig configs[] = {Rcv1Like(), AlphaLike(), DnaLike(),
+                                                 WebspamLike(), SpliceLike(), KddLike()};
+  ClassificationConfig config = configs[GetParam()];
+  config.train_n = 50;  // keep the sweep fast
+  config.test_n = 10;
+  SparseDataset data = MakeClassification(config);
+  EXPECT_EQ(data.train.size(), 50u);
+  EXPECT_GT(data.AvgNnz(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, PresetSweep, ::testing::Range(0, 6));
+
+TEST(Ratings, ShapeAndRange) {
+  RatingsConfig config;
+  config.train_n = 1000;
+  config.test_n = 100;
+  RatingsDataset data = MakeRatings(config);
+  EXPECT_EQ(data.train.size(), 1000u);
+  EXPECT_EQ(data.test.size(), 100u);
+  for (const Rating& r : data.train) {
+    EXPECT_LT(r.user, static_cast<uint32_t>(config.users));
+    EXPECT_LT(r.item, static_cast<uint32_t>(config.items));
+    EXPECT_GE(r.value, 1.0f);
+    EXPECT_LE(r.value, 5.0f);
+  }
+}
+
+TEST(Ratings, SortByItemOrders) {
+  RatingsConfig config;
+  config.train_n = 500;
+  RatingsDataset data = MakeRatings(config);
+  SortRatingsByItem(data);
+  for (size_t i = 1; i < data.train.size(); ++i) {
+    EXPECT_LE(data.train[i - 1].item, data.train[i].item);
+  }
+}
+
+TEST(Ratings, ShuffleIsDeterministicPermutation) {
+  RatingsConfig config;
+  config.train_n = 200;
+  RatingsDataset a = MakeRatings(config);
+  RatingsDataset b = MakeRatings(config);
+  ShuffleRatings(a, 7);
+  ShuffleRatings(b, 7);
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].user, b.train[i].user);
+    EXPECT_EQ(a.train[i].item, b.train[i].item);
+  }
+}
+
+}  // namespace
+}  // namespace malt

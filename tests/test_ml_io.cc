@@ -1,0 +1,132 @@
+// LIBSVM file format tests: parsing, error reporting, round-trip.
+
+#include "src/ml/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace malt {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "malt_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, ParseLineBasics) {
+  SparseExample ex;
+  Result<bool> parsed = ParseLibsvmLine("+1 3:0.5 7:-1.25 100:2", &ex);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed);
+  EXPECT_EQ(ex.label, 1.0f);
+  ASSERT_EQ(ex.idx.size(), 3u);
+  EXPECT_EQ(ex.idx[0], 2u);  // 1-based -> 0-based
+  EXPECT_EQ(ex.idx[2], 99u);
+  EXPECT_FLOAT_EQ(ex.val[1], -1.25f);
+}
+
+TEST_F(IoTest, ParseLineLabelConventions) {
+  SparseExample ex;
+  ASSERT_TRUE(ParseLibsvmLine("-1 1:1", &ex).ok());
+  EXPECT_EQ(ex.label, -1.0f);
+  ASSERT_TRUE(ParseLibsvmLine("0 1:1", &ex).ok());
+  EXPECT_EQ(ex.label, -1.0f);  // 0/1 convention maps 0 to -1
+  ASSERT_TRUE(ParseLibsvmLine("1 1:1", &ex).ok());
+  EXPECT_EQ(ex.label, 1.0f);
+}
+
+TEST_F(IoTest, ParseLineSkipsBlankAndComments) {
+  SparseExample ex;
+  Result<bool> blank = ParseLibsvmLine("   ", &ex);
+  ASSERT_TRUE(blank.ok());
+  EXPECT_FALSE(*blank);
+  Result<bool> comment = ParseLibsvmLine("# header", &ex);
+  ASSERT_TRUE(comment.ok());
+  EXPECT_FALSE(*comment);
+}
+
+TEST_F(IoTest, ParseLineRejectsMalformed) {
+  SparseExample ex;
+  EXPECT_FALSE(ParseLibsvmLine("abc 1:1", &ex).ok());
+  EXPECT_FALSE(ParseLibsvmLine("+1 0:1", &ex).ok());    // 1-based indices
+  EXPECT_FALSE(ParseLibsvmLine("+1 5", &ex).ok());      // missing colon
+  EXPECT_FALSE(ParseLibsvmLine("+1 5:", &ex).ok());     // missing value
+}
+
+TEST_F(IoTest, ParseLineSortsUnsortedFeatures) {
+  SparseExample ex;
+  ASSERT_TRUE(ParseLibsvmLine("+1 9:9 2:2 5:5", &ex).ok());
+  ASSERT_EQ(ex.idx.size(), 3u);
+  EXPECT_EQ(ex.idx[0], 1u);
+  EXPECT_EQ(ex.idx[1], 4u);
+  EXPECT_EQ(ex.idx[2], 8u);
+  EXPECT_FLOAT_EQ(ex.val[0], 2.0f);
+  EXPECT_FLOAT_EQ(ex.val[2], 9.0f);
+}
+
+TEST_F(IoTest, LoadFileAndDim) {
+  const std::string path = Write("train.svm",
+                                 "# comment\n"
+                                 "+1 1:0.5 10:1\n"
+                                 "\n"
+                                 "-1 3:2\n");
+  Result<SparseDataset> data = LoadLibsvm(path);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->train.size(), 2u);
+  EXPECT_EQ(data->dim, 10u);  // largest index
+}
+
+TEST_F(IoTest, LoadMissingFileFails) {
+  Result<SparseDataset> data = LoadLibsvm((dir_ / "nope.svm").string());
+  EXPECT_EQ(data.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, LoadErrorCarriesLineNumber) {
+  const std::string path = Write("bad.svm", "+1 1:1\n+1 broken\n");
+  Result<SparseDataset> data = LoadLibsvm(path);
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.status().message().find(":2:"), std::string_view::npos);
+}
+
+TEST_F(IoTest, RoundTrip) {
+  ClassificationConfig config;
+  config.dim = 500;
+  config.train_n = 200;
+  config.test_n = 50;
+  config.avg_nnz = 12;
+  SparseDataset original = MakeClassification(config);
+  const std::string train = (dir_ / "t.svm").string();
+  const std::string test = (dir_ / "v.svm").string();
+  ASSERT_TRUE(SaveLibsvm(original, train, test).ok());
+
+  Result<SparseDataset> loaded = LoadLibsvm(train, test);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->train.size(), original.train.size());
+  ASSERT_EQ(loaded->test.size(), original.test.size());
+  for (size_t i = 0; i < original.train.size(); ++i) {
+    EXPECT_EQ(loaded->train[i].label, original.train[i].label);
+    ASSERT_EQ(loaded->train[i].idx, original.train[i].idx);
+    for (size_t k = 0; k < original.train[i].val.size(); ++k) {
+      EXPECT_NEAR(loaded->train[i].val[k], original.train[i].val[k], 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace malt

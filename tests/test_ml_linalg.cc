@@ -1,0 +1,61 @@
+#include "src/ml/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace malt {
+namespace {
+
+TEST(Linalg, Dot) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(Linalg, SparseDot) {
+  std::vector<float> w(10, 0.0f);
+  w[2] = 2.0f;
+  w[7] = -1.0f;
+  const std::vector<uint32_t> idx = {2, 5, 7};
+  const std::vector<float> val = {3.0f, 100.0f, 4.0f};
+  // w[5] is 0, so the 100 contributes nothing.
+  EXPECT_DOUBLE_EQ(SparseDot(w, idx, val), 2.0 * 3.0 - 1.0 * 4.0);
+}
+
+TEST(Linalg, Axpy) {
+  const std::vector<float> x = {1, 2};
+  std::vector<float> y = {10, 20};
+  Axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+}
+
+TEST(Linalg, SparseAxpy) {
+  std::vector<float> y(5, 1.0f);
+  const std::vector<uint32_t> idx = {0, 4};
+  const std::vector<float> val = {1.0f, 2.0f};
+  SparseAxpy(3.0f, idx, val, y);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+  EXPECT_FLOAT_EQ(y[4], 7.0f);
+}
+
+TEST(Linalg, ScaleAndNormAndFill) {
+  std::vector<float> x = {3, 4};
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 25.0);
+  Scale(x, 2.0f);
+  EXPECT_FLOAT_EQ(x[0], 6.0f);
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 100.0);
+  Fill(x, 0.5f);
+  EXPECT_FLOAT_EQ(x[1], 0.5f);
+}
+
+TEST(Linalg, EmptySpansAreSafe) {
+  std::vector<float> empty;
+  EXPECT_DOUBLE_EQ(Dot(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace malt

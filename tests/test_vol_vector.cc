@@ -1,0 +1,268 @@
+// MaltVector tests: dense/sparse encode-decode, the gather UDFs, iteration
+// stamps, and staleness queries.
+
+#include "src/vol/malt_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/comm/graph.h"
+#include "src/vol/accumulator.h"
+
+namespace malt {
+namespace {
+
+FabricOptions FastNet() {
+  FabricOptions opts;
+  opts.net.latency = 1000;
+  opts.net.bandwidth_bytes_per_sec = 1e9;
+  opts.net.per_message_overhead = 0;
+  return opts;
+}
+
+struct VolCluster {
+  explicit VolCluster(int n) : engine(), fabric(engine, n, FastNet()), domain(engine, fabric, n) {}
+
+  void Run(const std::function<void(int, Dstorm&, Process&)>& body) {
+    for (int rank = 0; rank < domain.size(); ++rank) {
+      engine.AddProcess("rank" + std::to_string(rank), [this, rank, body](Process& p) {
+        Dstorm& d = domain.node(rank);
+        d.Bind(p);
+        body(rank, d, p);
+      });
+    }
+    engine.Run();
+  }
+
+  Engine engine;
+  Fabric fabric;
+  DstormDomain domain;
+};
+
+MaltVectorOptions DenseOpts(const std::string& name, size_t dim, int n) {
+  MaltVectorOptions o;
+  o.name = name;
+  o.dim = dim;
+  o.layout = Layout::kDense;
+  o.graph = AllToAllGraph(n);
+  return o;
+}
+
+TEST(MaltVector, DenseGatherAverage) {
+  const int n = 4;
+  VolCluster cluster(n);
+  std::vector<float> results(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVector v(d, DenseOpts("w", 8, n));
+    for (float& x : v.data()) {
+      x = static_cast<float>(rank);  // rank r holds all-r
+    }
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(v.Barrier().ok());
+    GatherResult r = v.GatherAverage();
+    EXPECT_EQ(r.received, n - 1);
+    results[static_cast<size_t>(rank)] = v.data()[0];
+  });
+  // Average of {0,1,2,3} = 1.5 for every rank.
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_FLOAT_EQ(results[static_cast<size_t>(rank)], 1.5f);
+  }
+}
+
+TEST(MaltVector, DenseGatherSum) {
+  const int n = 3;
+  VolCluster cluster(n);
+  std::vector<float> results(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVector v(d, DenseOpts("g", 4, n));
+    v.data()[2] = 1.0f;
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(v.Barrier().ok());
+    v.GatherSum();
+    results[static_cast<size_t>(rank)] = v.data()[2];
+  });
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_FLOAT_EQ(results[static_cast<size_t>(rank)], 3.0f);  // own 1 + two peers
+  }
+}
+
+TEST(MaltVector, SparseScatterOnlyShipsNonzeros) {
+  const int n = 2;
+  VolCluster cluster(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVectorOptions o;
+    o.name = "sparse";
+    o.dim = 1000;
+    o.layout = Layout::kSparse;
+    o.max_nnz = 16;
+    o.graph = AllToAllGraph(n);
+    MaltVector v(d, o);
+    v.data()[7] = 2.0f;
+    v.data()[900] = -1.0f;
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(v.Barrier().ok());
+    GatherResult r = v.GatherSum();
+    EXPECT_EQ(r.received, 1);
+    EXPECT_FLOAT_EQ(v.data()[7], 4.0f);
+    EXPECT_FLOAT_EQ(v.data()[900], -2.0f);
+    EXPECT_FLOAT_EQ(v.data()[8], 0.0f);
+    (void)rank;
+  });
+  // Wire cost: 2 entries = 4 + 2*8 = 20 bytes per destination, not 4 KB.
+  EXPECT_LE(cluster.fabric.stats().TxBytes(0), 200);  // payload + slot framing
+}
+
+TEST(MaltVector, SparseNnzOverflowRejected) {
+  VolCluster cluster(2);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVectorOptions o;
+    o.name = "tiny";
+    o.dim = 100;
+    o.layout = Layout::kSparse;
+    o.max_nnz = 2;
+    o.graph = AllToAllGraph(2);
+    MaltVector v(d, o);
+    if (rank == 0) {
+      v.data()[0] = v.data()[1] = v.data()[2] = 1.0f;
+      Status s = v.Scatter();
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+    }
+  });
+}
+
+TEST(MaltVector, GatherReplaceHogwild) {
+  const int n = 2;
+  VolCluster cluster(n);
+  std::vector<float> got(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVectorOptions o;
+    o.name = "h";
+    o.dim = 10;
+    o.layout = Layout::kSparse;
+    o.graph = AllToAllGraph(n);
+    MaltVector v(d, o);
+    v.data()[rank] = static_cast<float>(10 + rank);
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(v.Barrier().ok());
+    v.GatherReplace();
+    got[static_cast<size_t>(rank)] = v.data()[1 - rank];
+  });
+  EXPECT_FLOAT_EQ(got[0], 11.0f);  // rank 0 received rank 1's entry
+  EXPECT_FLOAT_EQ(got[1], 10.0f);
+}
+
+TEST(MaltVector, GatherCustomUdf) {
+  const int n = 2;
+  VolCluster cluster(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVector v(d, DenseOpts("c", 4, n));
+    v.data()[0] = rank == 0 ? 5.0f : 7.0f;
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(v.Barrier().ok());
+    // Max-fold: keep elementwise maximum.
+    v.GatherCustom([](std::span<float> local, const IncomingUpdate& u) {
+      for (size_t i = 0; i < u.values.size(); ++i) {
+        local[i] = std::max(local[i], u.values[i]);
+      }
+    });
+    EXPECT_FLOAT_EQ(v.data()[0], 7.0f);
+  });
+}
+
+TEST(MaltVector, IterationStampsFlow) {
+  const int n = 2;
+  VolCluster cluster(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVector v(d, DenseOpts("it", 2, n));
+    v.set_iteration(static_cast<uint32_t>(100 + rank));
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(v.Barrier().ok());
+    GatherResult r = v.GatherAverage();
+    EXPECT_EQ(r.max_iter, 100 + (1 - rank));
+    EXPECT_EQ(v.MinPeerIteration(), 100 + (1 - rank));
+  });
+}
+
+TEST(MaltVector, GatherAverageFreshSkipsStale) {
+  const int n = 2;
+  VolCluster cluster(n);
+  std::vector<int> received(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVector v(d, DenseOpts("st", 2, n));
+    v.set_iteration(rank == 0 ? 100 : 3);  // rank 1 is a straggler
+    v.data()[0] = 1.0f;
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(v.Barrier().ok());
+    GatherResult r = v.GatherAverage(/*min_iter=*/50);
+    received[static_cast<size_t>(rank)] = r.received;
+  });
+  EXPECT_EQ(received[0], 0);  // rank 0 skipped the straggler's update
+  EXPECT_EQ(received[1], 1);  // rank 1 folded rank 0's fresh update
+}
+
+TEST(MaltVector, ScatterToSubsetOnly) {
+  const int n = 3;
+  VolCluster cluster(n);
+  std::vector<int> received(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    MaltVector v(d, DenseOpts("sub", 2, n));
+    v.data()[0] = 1.0f;
+    if (rank == 0) {
+      const std::vector<int> dsts = {2};
+      ASSERT_TRUE(v.ScatterTo(dsts).ok());
+      ASSERT_TRUE(d.Flush().ok());
+    }
+    ASSERT_TRUE(v.Barrier().ok());
+    received[static_cast<size_t>(rank)] = v.GatherSum().received;
+  });
+  EXPECT_EQ(received[1], 0);
+  EXPECT_EQ(received[2], 1);
+}
+
+TEST(MaltVector, FreshAvailablePredicate) {
+  const int n = 2;
+  VolCluster cluster(n);
+  cluster.Run([&](int rank, Dstorm& d, Process& p) {
+    MaltVector v(d, DenseOpts("f", 2, n));
+    if (rank == 0) {
+      EXPECT_FALSE(v.FreshAvailable());
+      v.data()[0] = 1.0f;
+      ASSERT_TRUE(v.Scatter().ok());
+      p.SleepUntil(1'000'000);
+    } else {
+      p.WaitUntil([&] { return v.FreshAvailable(); });
+      EXPECT_EQ(v.GatherSum().received, 1);
+      EXPECT_FALSE(v.FreshAvailable());
+    }
+  });
+}
+
+TEST(GradientAccumulator, WorkerLevelScatterAddAndDrain) {
+  const int n = 4;
+  VolCluster cluster(n);
+  std::vector<double> sums(n);
+  std::vector<int64_t> counts(n);
+  cluster.Run([&](int rank, Dstorm& d, Process&) {
+    GradientAccumulator acc(d, "grad_sum", 8, AllToAllGraph(n));
+    std::vector<float> mine(8, static_cast<float>(rank));
+    ASSERT_TRUE(acc.ScatterAdd(mine).ok());
+    ASSERT_TRUE(d.Flush().ok());
+    ASSERT_TRUE(d.Barrier().ok());
+    std::vector<float> out(8);
+    counts[static_cast<size_t>(rank)] = acc.Drain(out);
+    sums[static_cast<size_t>(rank)] = out[3];
+  });
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_DOUBLE_EQ(sums[static_cast<size_t>(rank)], 6.0 - rank);  // 0+1+2+3 minus own
+    EXPECT_EQ(counts[static_cast<size_t>(rank)], n - 1);
+  }
+}
+
+}  // namespace
+}  // namespace malt
