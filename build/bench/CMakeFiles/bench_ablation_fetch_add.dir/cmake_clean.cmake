@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fetch_add.dir/bench_ablation_fetch_add.cpp.o"
+  "CMakeFiles/bench_ablation_fetch_add.dir/bench_ablation_fetch_add.cpp.o.d"
+  "bench_ablation_fetch_add"
+  "bench_ablation_fetch_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fetch_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_03_dataflow.dir/bench_fig02_03_dataflow.cpp.o"
+  "CMakeFiles/bench_fig02_03_dataflow.dir/bench_fig02_03_dataflow.cpp.o.d"
+  "bench_fig02_03_dataflow"
+  "bench_fig02_03_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_03_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_mrsvm_vs_malt.dir/bench_fig05_mrsvm_vs_malt.cpp.o"
+  "CMakeFiles/bench_fig05_mrsvm_vs_malt.dir/bench_fig05_mrsvm_vs_malt.cpp.o.d"
+  "bench_fig05_mrsvm_vs_malt"
+  "bench_fig05_mrsvm_vs_malt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_mrsvm_vs_malt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

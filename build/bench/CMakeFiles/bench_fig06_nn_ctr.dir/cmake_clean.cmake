@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_nn_ctr.dir/bench_fig06_nn_ctr.cpp.o"
+  "CMakeFiles/bench_fig06_nn_ctr.dir/bench_fig06_nn_ctr.cpp.o.d"
+  "bench_fig06_nn_ctr"
+  "bench_fig06_nn_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_nn_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

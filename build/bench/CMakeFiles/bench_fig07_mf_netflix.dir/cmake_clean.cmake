@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_mf_netflix.dir/bench_fig07_mf_netflix.cpp.o"
+  "CMakeFiles/bench_fig07_mf_netflix.dir/bench_fig07_mf_netflix.cpp.o.d"
+  "bench_fig07_mf_netflix"
+  "bench_fig07_mf_netflix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_mf_netflix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_halton_vs_ps.dir/bench_fig09_halton_vs_ps.cpp.o"
+  "CMakeFiles/bench_fig09_halton_vs_ps.dir/bench_fig09_halton_vs_ps.cpp.o.d"
+  "bench_fig09_halton_vs_ps"
+  "bench_fig09_halton_vs_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_halton_vs_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

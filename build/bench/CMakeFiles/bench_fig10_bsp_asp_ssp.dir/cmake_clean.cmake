@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bsp_asp_ssp.dir/bench_fig10_bsp_asp_ssp.cpp.o"
+  "CMakeFiles/bench_fig10_bsp_asp_ssp.dir/bench_fig10_bsp_asp_ssp.cpp.o.d"
+  "bench_fig10_bsp_asp_ssp"
+  "bench_fig10_bsp_asp_ssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bsp_asp_ssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_splice_halton.dir/bench_fig12_splice_halton.cpp.o"
+  "CMakeFiles/bench_fig12_splice_halton.dir/bench_fig12_splice_halton.cpp.o.d"
+  "bench_fig12_splice_halton"
+  "bench_fig12_splice_halton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_splice_halton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dstorm.dir/bench_micro_dstorm.cpp.o"
+  "CMakeFiles/bench_micro_dstorm.dir/bench_micro_dstorm.cpp.o.d"
+  "bench_micro_dstorm"
+  "bench_micro_dstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

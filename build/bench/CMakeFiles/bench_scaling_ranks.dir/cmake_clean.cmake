@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_ranks.dir/bench_scaling_ranks.cpp.o"
+  "CMakeFiles/bench_scaling_ranks.dir/bench_scaling_ranks.cpp.o.d"
+  "bench_scaling_ranks"
+  "bench_scaling_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_developer_effort.dir/bench_table3_developer_effort.cpp.o"
+  "CMakeFiles/bench_table3_developer_effort.dir/bench_table3_developer_effort.cpp.o.d"
+  "bench_table3_developer_effort"
+  "bench_table3_developer_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_developer_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_raw_dstorm.dir/kmeans_raw_dstorm.cpp.o"
+  "CMakeFiles/kmeans_raw_dstorm.dir/kmeans_raw_dstorm.cpp.o.d"
+  "kmeans_raw_dstorm"
+  "kmeans_raw_dstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_raw_dstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

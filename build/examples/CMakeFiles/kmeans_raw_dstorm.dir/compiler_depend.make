@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kmeans_raw_dstorm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for kmeans_raw_dstorm.
+# This may be replaced when dependencies are built.

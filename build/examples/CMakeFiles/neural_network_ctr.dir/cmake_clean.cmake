@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_network_ctr.dir/neural_network_ctr.cpp.o"
+  "CMakeFiles/neural_network_ctr.dir/neural_network_ctr.cpp.o.d"
+  "neural_network_ctr"
+  "neural_network_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_network_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_text_classification.dir/svm_text_classification.cpp.o"
+  "CMakeFiles/svm_text_classification.dir/svm_text_classification.cpp.o.d"
+  "svm_text_classification"
+  "svm_text_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_text_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--ranks=3" "--epochs=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_svm_text "/root/repo/build/examples/svm_text_classification" "--ranks=4" "--epochs=2" "--compare_serial=false")
+set_tests_properties(example_svm_text PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matrix_factorization "/root/repo/build/examples/matrix_factorization" "--epochs=3")
+set_tests_properties(example_matrix_factorization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_neural_network "/root/repo/build/examples/neural_network_ctr" "--ranks=4" "--epochs=2")
+set_tests_properties(example_neural_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_tolerance "/root/repo/build/examples/fault_tolerance" "--ranks=4" "--epochs=6")
+set_tests_properties(example_fault_tolerance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_dataflow "/root/repo/build/examples/custom_dataflow" "--ranks=6" "--epochs=2")
+set_tests_properties(example_custom_dataflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kmeans "/root/repo/build/examples/kmeans_raw_dstorm" "--ranks=3" "--iters=5")
+set_tests_properties(example_kmeans PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_parallel "/root/repo/build/examples/model_parallel" "--ranks=4" "--epochs=2")
+set_tests_properties(example_model_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_apps.dir/mf_app.cc.o"
+  "CMakeFiles/malt_apps.dir/mf_app.cc.o.d"
+  "CMakeFiles/malt_apps.dir/nn_app.cc.o"
+  "CMakeFiles/malt_apps.dir/nn_app.cc.o.d"
+  "CMakeFiles/malt_apps.dir/svm_app.cc.o"
+  "CMakeFiles/malt_apps.dir/svm_app.cc.o.d"
+  "libmalt_apps.a"
+  "libmalt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_base.dir/flags.cc.o"
+  "CMakeFiles/malt_base.dir/flags.cc.o.d"
+  "CMakeFiles/malt_base.dir/log.cc.o"
+  "CMakeFiles/malt_base.dir/log.cc.o.d"
+  "CMakeFiles/malt_base.dir/rng.cc.o"
+  "CMakeFiles/malt_base.dir/rng.cc.o.d"
+  "CMakeFiles/malt_base.dir/stats.cc.o"
+  "CMakeFiles/malt_base.dir/stats.cc.o.d"
+  "CMakeFiles/malt_base.dir/status.cc.o"
+  "CMakeFiles/malt_base.dir/status.cc.o.d"
+  "libmalt_base.a"
+  "libmalt_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

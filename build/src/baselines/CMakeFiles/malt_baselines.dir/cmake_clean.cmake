@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_baselines.dir/param_server.cc.o"
+  "CMakeFiles/malt_baselines.dir/param_server.cc.o.d"
+  "libmalt_baselines.a"
+  "libmalt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_comm.dir/graph.cc.o"
+  "CMakeFiles/malt_comm.dir/graph.cc.o.d"
+  "libmalt_comm.a"
+  "libmalt_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_core.dir/runtime.cc.o"
+  "CMakeFiles/malt_core.dir/runtime.cc.o.d"
+  "libmalt_core.a"
+  "libmalt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

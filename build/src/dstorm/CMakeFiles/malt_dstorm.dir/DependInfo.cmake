@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dstorm/dstorm.cc" "src/dstorm/CMakeFiles/malt_dstorm.dir/dstorm.cc.o" "gcc" "src/dstorm/CMakeFiles/malt_dstorm.dir/dstorm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/malt_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/malt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/malt_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/malt_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

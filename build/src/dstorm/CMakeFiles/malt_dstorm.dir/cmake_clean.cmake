@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_dstorm.dir/dstorm.cc.o"
+  "CMakeFiles/malt_dstorm.dir/dstorm.cc.o.d"
+  "libmalt_dstorm.a"
+  "libmalt_dstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_dstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for malt_dstorm.
+# This may be replaced when dependencies are built.

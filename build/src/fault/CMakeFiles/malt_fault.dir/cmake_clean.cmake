@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_fault.dir/monitor.cc.o"
+  "CMakeFiles/malt_fault.dir/monitor.cc.o.d"
+  "libmalt_fault.a"
+  "libmalt_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

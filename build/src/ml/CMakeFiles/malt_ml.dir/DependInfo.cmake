@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/malt_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/malt_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/io.cc" "src/ml/CMakeFiles/malt_ml.dir/io.cc.o" "gcc" "src/ml/CMakeFiles/malt_ml.dir/io.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/malt_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/malt_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mf.cc" "src/ml/CMakeFiles/malt_ml.dir/mf.cc.o" "gcc" "src/ml/CMakeFiles/malt_ml.dir/mf.cc.o.d"
+  "/root/repo/src/ml/nn.cc" "src/ml/CMakeFiles/malt_ml.dir/nn.cc.o" "gcc" "src/ml/CMakeFiles/malt_ml.dir/nn.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/malt_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/malt_ml.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/malt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_ml.dir/dataset.cc.o"
+  "CMakeFiles/malt_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/malt_ml.dir/io.cc.o"
+  "CMakeFiles/malt_ml.dir/io.cc.o.d"
+  "CMakeFiles/malt_ml.dir/metrics.cc.o"
+  "CMakeFiles/malt_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/malt_ml.dir/mf.cc.o"
+  "CMakeFiles/malt_ml.dir/mf.cc.o.d"
+  "CMakeFiles/malt_ml.dir/nn.cc.o"
+  "CMakeFiles/malt_ml.dir/nn.cc.o.d"
+  "CMakeFiles/malt_ml.dir/svm.cc.o"
+  "CMakeFiles/malt_ml.dir/svm.cc.o.d"
+  "libmalt_ml.a"
+  "libmalt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_sim.dir/engine.cc.o"
+  "CMakeFiles/malt_sim.dir/engine.cc.o.d"
+  "libmalt_sim.a"
+  "libmalt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/fabric.cc" "src/simnet/CMakeFiles/malt_simnet.dir/fabric.cc.o" "gcc" "src/simnet/CMakeFiles/malt_simnet.dir/fabric.cc.o.d"
+  "/root/repo/src/simnet/gaspi.cc" "src/simnet/CMakeFiles/malt_simnet.dir/gaspi.cc.o" "gcc" "src/simnet/CMakeFiles/malt_simnet.dir/gaspi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/malt_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/malt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_simnet.dir/fabric.cc.o"
+  "CMakeFiles/malt_simnet.dir/fabric.cc.o.d"
+  "CMakeFiles/malt_simnet.dir/gaspi.cc.o"
+  "CMakeFiles/malt_simnet.dir/gaspi.cc.o.d"
+  "libmalt_simnet.a"
+  "libmalt_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

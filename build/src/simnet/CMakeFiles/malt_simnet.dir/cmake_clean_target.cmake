@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmalt_simnet.a"
+)

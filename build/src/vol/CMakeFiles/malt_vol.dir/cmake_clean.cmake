@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_vol.dir/malt_vector.cc.o"
+  "CMakeFiles/malt_vol.dir/malt_vector.cc.o.d"
+  "libmalt_vol.a"
+  "libmalt_vol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_vol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for malt_vol.
+# This may be replaced when dependencies are built.

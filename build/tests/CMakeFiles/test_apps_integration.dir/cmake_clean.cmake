@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_integration.dir/test_apps_integration.cc.o"
+  "CMakeFiles/test_apps_integration.dir/test_apps_integration.cc.o.d"
+  "test_apps_integration"
+  "test_apps_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

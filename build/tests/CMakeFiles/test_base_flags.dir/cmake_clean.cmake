@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_flags.dir/test_base_flags.cc.o"
+  "CMakeFiles/test_base_flags.dir/test_base_flags.cc.o.d"
+  "test_base_flags"
+  "test_base_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_log.dir/test_base_log.cc.o"
+  "CMakeFiles/test_base_log.dir/test_base_log.cc.o.d"
+  "test_base_log"
+  "test_base_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

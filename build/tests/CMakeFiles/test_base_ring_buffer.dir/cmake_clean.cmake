@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_ring_buffer.dir/test_base_ring_buffer.cc.o"
+  "CMakeFiles/test_base_ring_buffer.dir/test_base_ring_buffer.cc.o.d"
+  "test_base_ring_buffer"
+  "test_base_ring_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_ring_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

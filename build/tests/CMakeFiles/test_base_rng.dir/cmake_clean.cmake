@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_rng.dir/test_base_rng.cc.o"
+  "CMakeFiles/test_base_rng.dir/test_base_rng.cc.o.d"
+  "test_base_rng"
+  "test_base_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

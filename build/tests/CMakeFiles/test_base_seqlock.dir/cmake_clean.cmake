@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_seqlock.dir/test_base_seqlock.cc.o"
+  "CMakeFiles/test_base_seqlock.dir/test_base_seqlock.cc.o.d"
+  "test_base_seqlock"
+  "test_base_seqlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_seqlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_stats.dir/test_base_stats.cc.o"
+  "CMakeFiles/test_base_stats.dir/test_base_stats.cc.o.d"
+  "test_base_stats"
+  "test_base_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_status.dir/test_base_status.cc.o"
+  "CMakeFiles/test_base_status.dir/test_base_status.cc.o.d"
+  "test_base_status"
+  "test_base_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

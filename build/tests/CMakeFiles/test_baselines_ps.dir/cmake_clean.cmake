@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_ps.dir/test_baselines_ps.cc.o"
+  "CMakeFiles/test_baselines_ps.dir/test_baselines_ps.cc.o.d"
+  "test_baselines_ps"
+  "test_baselines_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dstorm.dir/test_dstorm.cc.o"
+  "CMakeFiles/test_dstorm.dir/test_dstorm.cc.o.d"
+  "test_dstorm"
+  "test_dstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dstorm_accumulator.dir/test_dstorm_accumulator.cc.o"
+  "CMakeFiles/test_dstorm_accumulator.dir/test_dstorm_accumulator.cc.o.d"
+  "test_dstorm_accumulator"
+  "test_dstorm_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dstorm_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence_minibatch.dir/test_equivalence_minibatch.cc.o"
+  "CMakeFiles/test_equivalence_minibatch.dir/test_equivalence_minibatch.cc.o.d"
+  "test_equivalence_minibatch"
+  "test_equivalence_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

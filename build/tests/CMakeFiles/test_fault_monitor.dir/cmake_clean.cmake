@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_monitor.dir/test_fault_monitor.cc.o"
+  "CMakeFiles/test_fault_monitor.dir/test_fault_monitor.cc.o.d"
+  "test_fault_monitor"
+  "test_fault_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

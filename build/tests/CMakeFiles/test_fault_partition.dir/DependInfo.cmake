@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_partition.cc" "tests/CMakeFiles/test_fault_partition.dir/test_fault_partition.cc.o" "gcc" "tests/CMakeFiles/test_fault_partition.dir/test_fault_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/malt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/malt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/malt_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vol/CMakeFiles/malt_vol.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/malt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/malt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/malt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/malt_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/malt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dstorm/CMakeFiles/malt_dstorm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/malt_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

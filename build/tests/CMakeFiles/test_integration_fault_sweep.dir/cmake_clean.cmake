@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_fault_sweep.dir/test_integration_fault_sweep.cc.o"
+  "CMakeFiles/test_integration_fault_sweep.dir/test_integration_fault_sweep.cc.o.d"
+  "test_integration_fault_sweep"
+  "test_integration_fault_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

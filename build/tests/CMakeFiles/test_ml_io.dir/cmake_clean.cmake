@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_io.dir/test_ml_io.cc.o"
+  "CMakeFiles/test_ml_io.dir/test_ml_io.cc.o.d"
+  "test_ml_io"
+  "test_ml_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

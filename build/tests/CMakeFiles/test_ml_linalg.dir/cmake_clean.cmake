@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_linalg.dir/test_ml_linalg.cc.o"
+  "CMakeFiles/test_ml_linalg.dir/test_ml_linalg.cc.o.d"
+  "test_ml_linalg"
+  "test_ml_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_gaspi.dir/test_simnet_gaspi.cc.o"
+  "CMakeFiles/test_simnet_gaspi.dir/test_simnet_gaspi.cc.o.d"
+  "test_simnet_gaspi"
+  "test_simnet_gaspi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_gaspi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vol_vector.dir/test_vol_vector.cc.o"
+  "CMakeFiles/test_vol_vector.dir/test_vol_vector.cc.o.d"
+  "test_vol_vector"
+  "test_vol_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vol_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malt_run.dir/malt_run.cpp.o"
+  "CMakeFiles/malt_run.dir/malt_run.cpp.o.d"
+  "malt_run"
+  "malt_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malt_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_malt_run_svm "/root/repo/build/tools/malt_run" "--app=svm" "--dataset=dna" "--ranks=4" "--epochs=2")
+set_tests_properties(tool_malt_run_svm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_malt_run_mf "/root/repo/build/tools/malt_run" "--app=mf" "--ranks=2" "--sync=asp" "--epochs=2")
+set_tests_properties(tool_malt_run_mf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
