@@ -46,8 +46,13 @@ int main(int argc, char** argv) {
       opts.sync = malt::SyncMode::kBSP;
       opts.graph = kind;
       opts.queue_depth = 2;
-      malt::SvmRunResult r = malt::RunSvm(opts, config);
-      mb[idx++] = static_cast<double>(r.total_bytes) / 1e6;
+      malt::Malt malt(opts);
+      (void)malt::RunDistributedSvm(malt, config);
+      // Traffic from the runtime's telemetry counters: the fabric charges
+      // every posted write's bytes to fabric.bytes_sent on the sending rank.
+      const int64_t bytes =
+          malt.telemetry().Merged().CounterValue("fabric.bytes_sent");
+      mb[idx++] = static_cast<double>(bytes) / 1e6;
     }
     {
       malt::PsSvmConfig config;
@@ -59,9 +64,13 @@ int main(int argc, char** argv) {
       config.evals_per_epoch = 1;
       malt::MaltOptions opts;
       opts.ranks = ranks + 1;  // same number of *training* replicas + server
+      opts.graph = malt::GraphKind::kParamServer;
       opts.queue_depth = 2;
-      malt::PsRunResult r = malt::RunPsSvm(opts, config);
-      mb[2] = static_cast<double>(r.total_bytes) / 1e6;
+      malt::Malt malt(opts);
+      (void)malt::RunDistributedPsSvm(malt, config);
+      const int64_t bytes =
+          malt.telemetry().Merged().CounterValue("fabric.bytes_sent");
+      mb[2] = static_cast<double>(bytes) / 1e6;
     }
     std::printf("traffic %d %.1f %.1f %.1f\n", ranks, mb[0], mb[1], mb[2]);
     last[0] = mb[0];

@@ -9,22 +9,6 @@
 
 namespace malt {
 
-namespace {
-
-// Phase-time accounting: measures the virtual time a block consumed.
-class PhaseTimer {
- public:
-  PhaseTimer(Worker& w, double* accumulator) : w_(w), accumulator_(accumulator), start_(w.now()) {}
-  ~PhaseTimer() { *accumulator_ += ToSeconds(w_.now() - start_); }
-
- private:
-  Worker& w_;
-  double* accumulator_;
-  SimTime start_;
-};
-
-}  // namespace
-
 SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
   MALT_CHECK(config.data != nullptr) << "SvmAppConfig.data not set";
   const SparseDataset& data = *config.data;
@@ -63,11 +47,6 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
 
     bool reshard = true;
     w.monitor().AddRecoveryListener([&reshard](const std::vector<int>&) { reshard = true; });
-
-    double time_gradient = 0;
-    double time_scatter = 0;
-    double time_gather = 0;
-    double time_barrier = 0;
 
     Worker::Shard shard;
     uint32_t batch = 0;
@@ -110,7 +89,7 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
         w.ChargeFlops(static_cast<double>(data.dim));
       }
       {
-        PhaseTimer timer(w, &time_scatter);
+        Worker::PhaseScope scope(w, Worker::Phase::kScatter);
         Status status;
         if (sparse_mode) {
           // Collect the delta's nonzero coordinates; filter to the largest
@@ -145,12 +124,12 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
         }
       }
       if (run_opts.sync == SyncMode::kBSP) {
-        PhaseTimer timer(w, &time_barrier);
+        Worker::PhaseScope scope(w, Worker::Phase::kBarrier);
         const Status status = w.Barrier();
         MALT_CHECK(status.ok()) << "barrier failed: " << status.ToString();
       }
       {
-        PhaseTimer timer(w, &time_gather);
+        Worker::PhaseScope scope(w, Worker::Phase::kGather);
         const int64_t min_iter =
             run_opts.sync == SyncMode::kASP && config.asp_skip_stale < (1 << 30)
                 ? static_cast<int64_t>(batch) - config.asp_skip_stale
@@ -183,7 +162,7 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
         w.ChargeFlops(2.0 * static_cast<double>(data.dim));
       }
       if (run_opts.sync == SyncMode::kSSP) {
-        PhaseTimer timer(w, &time_barrier);
+        Worker::PhaseScope scope(w, Worker::Phase::kBarrier);
         w.SspWait(shared);
       }
       (void)w.monitor().CheckAndRecover();
@@ -207,7 +186,7 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
         const bool end_of_shard = i + 1 == shard.end;
         if (in_batch >= config.cb_size || end_of_shard) {
           {
-            PhaseTimer timer(w, &time_gradient);
+            Worker::PhaseScope scope(w, Worker::Phase::kCompute);
             double jitter = config.compute_jitter > 0
                                 ? std::exp(config.compute_jitter * jitter_rng.NextGaussian())
                                 : 1.0;
@@ -244,10 +223,13 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
     evaluate();
 
     rec.Set("lost_updates", static_cast<double>(shared.LostUpdates()));
-    rec.Set("time_gradient", time_gradient);
-    rec.Set("time_scatter", time_scatter);
-    rec.Set("time_gather", time_gather);
-    rec.Set("time_barrier", time_barrier);
+    // Phase breakdown from the runtime's own counters (Fig. 8), not from
+    // app-local stopwatches — PhaseScope charged them above.
+    const MetricRegistry& metrics = w.telemetry().metrics;
+    rec.Set("time_gradient", ToSeconds(metrics.CounterValue("worker.compute_ns")));
+    rec.Set("time_scatter", ToSeconds(metrics.CounterValue("worker.scatter_ns")));
+    rec.Set("time_gather", ToSeconds(metrics.CounterValue("worker.gather_ns")));
+    rec.Set("time_barrier", ToSeconds(metrics.CounterValue("worker.barrier_ns")));
     rec.Set("finish_seconds", w.now_seconds());
     if (is_probe_rank) {
       rec.Set("final_loss", MeanHingeLoss(weights, data.test));
@@ -266,10 +248,12 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
   result.total_bytes = malt.traffic().TotalBytes();
   result.total_messages = malt.traffic().TotalMessages();
   result.seconds_total = rec0.Counter("finish_seconds");
-  result.time_gradient = rec0.Counter("time_gradient");
-  result.time_scatter = rec0.Counter("time_scatter");
-  result.time_gather = rec0.Counter("time_gather");
-  result.time_barrier = rec0.Counter("time_barrier");
+  // Fig. 8 split straight from rank 0's runtime telemetry registry.
+  const MetricRegistry& metrics0 = malt.telemetry().rank(0).metrics;
+  result.time_gradient = ToSeconds(metrics0.CounterValue("worker.compute_ns"));
+  result.time_scatter = ToSeconds(metrics0.CounterValue("worker.scatter_ns"));
+  result.time_gather = ToSeconds(metrics0.CounterValue("worker.gather_ns"));
+  result.time_barrier = ToSeconds(metrics0.CounterValue("worker.barrier_ns"));
   return result;
 }
 

@@ -28,11 +28,13 @@ int64_t BatchesFor(size_t shard_size, int cb) {
 
 }  // namespace
 
-PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config) {
+PsRunResult RunDistributedPsSvm(Malt& malt, const PsSvmConfig& config) {
   MALT_CHECK(config.data != nullptr) << "PsSvmConfig.data not set";
+  const MaltOptions& options = malt.options();
   MALT_CHECK(options.ranks >= 2) << "parameter server needs a server and >= 1 worker";
+  MALT_CHECK(options.graph == GraphKind::kParamServer)
+      << "RunDistributedPsSvm needs the PS star dataflow";
   const SparseDataset& data = *config.data;
-  options.graph = GraphKind::kParamServer;
   const int workers = options.ranks - 1;
   const bool gradient_push = config.push == PsSvmConfig::Push::kGradient;
 
@@ -44,7 +46,6 @@ PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config) {
                                  config.cb_size);
   }
 
-  Malt malt(options);
   malt.Run([&](Worker& w) {
     Recorder& rec = w.recorder();
     const size_t max_nnz =
@@ -126,6 +127,7 @@ PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config) {
 
     auto push_and_pull = [&](double batch_flops) {
       {
+        Worker::PhaseScope scope(w, Worker::Phase::kCompute);
         const SimTime t0 = w.now();
         const double jitter = config.compute_jitter > 0
                                   ? std::exp(config.compute_jitter * jitter_rng.NextGaussian())
@@ -171,6 +173,7 @@ PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config) {
 
       // Fig. 9's wait: the PS client blocks until the refreshed model lands.
       {
+        Worker::PhaseScope scope(w, Worker::Phase::kBarrier);
         const SimTime t0 = w.now();
         const uint32_t want = my_batch;
         w.process().WaitUntil(
@@ -223,6 +226,12 @@ PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config) {
   result.worker_wait_seconds = wait / workers;
   result.seconds_total = finish;
   return result;
+}
+
+PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config) {
+  options.graph = GraphKind::kParamServer;
+  Malt malt(std::move(options));
+  return RunDistributedPsSvm(malt, config);
 }
 
 }  // namespace malt

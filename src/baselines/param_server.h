@@ -50,8 +50,13 @@ struct PsRunResult {
   double worker_wait_seconds = 0;
 };
 
-// options.ranks counts server + workers; options.graph is overridden with
-// the PS star. Requires ranks >= 2.
+// Runs on the given (fresh) runtime; consumes it (Malt::Run is once-only).
+// The runtime's options must use the PS star dataflow and ranks >= 2
+// (rank 0 = server).
+PsRunResult RunDistributedPsSvm(Malt& malt, const PsSvmConfig& config);
+
+// Convenience: options.ranks counts server + workers; options.graph is
+// overridden with the PS star. Requires ranks >= 2.
 PsRunResult RunPsSvm(MaltOptions options, const PsSvmConfig& config);
 
 }  // namespace malt

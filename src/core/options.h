@@ -61,6 +61,7 @@ struct MaltOptions {
   FabricOptions fabric;
   CostModel cost;
   FaultMonitorOptions fault;
+  TelemetryOptions telemetry;
 };
 
 }  // namespace malt

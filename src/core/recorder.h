@@ -36,6 +36,37 @@ class Recorder {
   const std::map<std::string, Series>& AllSeries() const { return series_; }
   const std::map<std::string, double>& AllCounters() const { return counters_; }
 
+  // Folds another rank's recorder into this one: counters add, series points
+  // append in source order (benches merge per-rank curves into cluster-wide
+  // ones this way).
+  void Merge(const Recorder& other) {
+    for (const auto& [name, s] : other.series_) {
+      Series& mine = series_[name];
+      if (mine.label.empty()) {
+        mine.label = s.label.empty() ? name : s.label;
+      }
+      mine.x.insert(mine.x.end(), s.x.begin(), s.x.end());
+      mine.y.insert(mine.y.end(), s.y.begin(), s.y.end());
+    }
+    for (const auto& [name, value] : other.counters_) {
+      counters_[name] += value;
+    }
+  }
+
+  // Const visitation without exposing the map types at call sites.
+  template <typename Fn>
+  void ForEachSeries(Fn&& fn) const {
+    for (const auto& [name, s] : series_) {
+      fn(name, s);
+    }
+  }
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, value] : counters_) {
+      fn(name, value);
+    }
+  }
+
  private:
   std::map<std::string, Series> series_;
   std::map<std::string, double> counters_;

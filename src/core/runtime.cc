@@ -70,6 +70,31 @@ std::string ToString(GraphKind kind) {
 
 // --- Worker ------------------------------------------------------------------
 
+namespace {
+constexpr const char* kPhaseNames[] = {"compute", "scatter", "gather", "barrier"};
+}  // namespace
+
+Worker::PhaseScope::PhaseScope(Worker& worker, Phase phase)
+    : worker_(worker), phase_(static_cast<int>(phase)), t0_(worker.proc_->now()) {
+  worker_.telemetry().trace.Begin(kPhaseNames[phase_], t0_);
+}
+
+Worker::PhaseScope::~PhaseScope() {
+  const SimTime t1 = worker_.proc_->now();
+  worker_.c_phase_ns_[phase_]->Add(t1 - t0_);
+  worker_.telemetry().trace.End(kPhaseNames[phase_], t1);
+}
+
+void Worker::InitTelemetry() {
+  MetricRegistry& reg = telemetry().metrics;
+  c_phase_ns_[0] = reg.GetCounter("worker.compute_ns");
+  c_phase_ns_[1] = reg.GetCounter("worker.scatter_ns");
+  c_phase_ns_[2] = reg.GetCounter("worker.gather_ns");
+  c_phase_ns_[3] = reg.GetCounter("worker.barrier_ns");
+  c_barrier_wait_ns_ = reg.GetCounter("worker.barrier_wait_ns");
+  c_ssp_wait_ns_ = reg.GetCounter("worker.ssp_wait_ns");
+}
+
 int Worker::world() const { return malt_->options().ranks; }
 
 const MaltOptions& Worker::options() const { return malt_->options(); }
@@ -100,12 +125,14 @@ GradientAccumulator Worker::CreateAccumulator(const std::string& name, size_t di
 }
 
 Status Worker::Barrier() {
+  const SimTime t0 = proc_->now();
   Status status = dstorm_->Barrier(options().barrier_timeout);
   while (status.code() == StatusCode::kDeadlineExceeded) {
     MALT_LOG_S(kInfo) << "rank " << rank_ << ": barrier timeout; health check";
     monitor_->HealthCheckAndRecover();
     status = dstorm_->BarrierResume(options().barrier_timeout);
   }
+  c_barrier_wait_ns_->Add(proc_->now() - t0);
   return status;
 }
 
@@ -128,6 +155,7 @@ void Worker::SspWait(MaltVector& v) {
   if (options().sync != SyncMode::kSSP) {
     return;
   }
+  const SimTime t0 = proc_->now();
   const int64_t bound = options().staleness;
   auto fresh_enough = [this, &v, bound] {
     // A dead straggler must not stall us forever: MinPeerIteration skips
@@ -142,6 +170,7 @@ void Worker::SspWait(MaltVector& v) {
       monitor_->HealthCheckAndRecover();
     }
   }
+  c_ssp_wait_ns_->Add(proc_->now() - t0);
 }
 
 int Worker::live_ranks() const { return static_cast<int>(dstorm_->GroupMembers().size()); }
@@ -173,8 +202,9 @@ Graph Malt::BuildDataflow(const MaltOptions& options) {
 Malt::Malt(MaltOptions options)
     : options_(options),
       engine_(),
-      fabric_(engine_, options.ranks, options.fabric),
-      domain_(engine_, fabric_, options.ranks),
+      telemetry_(options.ranks, options.telemetry),
+      fabric_(engine_, options.ranks, options.fabric, &telemetry_),
+      domain_(engine_, fabric_, options.ranks, &telemetry_),
       dataflow_(BuildDataflow(options)),
       recorders_(static_cast<size_t>(options.ranks)) {
   MALT_CHECK(options.ranks >= 1) << "need at least one rank";
@@ -195,6 +225,7 @@ void Malt::Run(const std::function<void(Worker&)>& body) {
       worker.dstorm_->Bind(proc);
       worker.monitor_ = std::make_unique<FaultMonitor>(*worker.dstorm_, options_.fault);
       worker.recorder_ = &recorders_[static_cast<size_t>(rank)];
+      worker.InitTelemetry();
       body(worker);
       // Tell peers this rank is done with collectives: after failures,
       // survivors can run different numbers of rounds per epoch, and a

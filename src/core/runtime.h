@@ -35,7 +35,27 @@ class Worker {
   Dstorm& dstorm() { return *dstorm_; }
   FaultMonitor& monitor() { return *monitor_; }
   Recorder& recorder() { return *recorder_; }
+  RankTelemetry& telemetry() { return dstorm_->telemetry(); }
   const MaltOptions& options() const;
+
+  // Figure 8 phase accounting: wrap each section of the training loop in a
+  // PhaseScope and the runtime charges its virtual duration to the matching
+  // worker.{compute,scatter,gather,barrier}_ns counter and emits a B/E trace
+  // span — so the compute/communication breakdown comes from the runtime
+  // itself, not from app-local stopwatches.
+  enum class Phase : uint8_t { kCompute = 0, kScatter = 1, kGather = 2, kBarrier = 3 };
+  class PhaseScope {
+   public:
+    PhaseScope(Worker& worker, Phase phase);
+    ~PhaseScope();
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Worker& worker_;
+    int phase_;
+    SimTime t0_;
+  };
 
   // Virtual time.
   SimTime now() const { return proc_->now(); }
@@ -81,12 +101,19 @@ class Worker {
   friend class Malt;
   Worker(Malt* malt, int rank) : malt_(malt), rank_(rank) {}
 
+  // Resolves the cached counter cells; requires dstorm_ to be set.
+  void InitTelemetry();
+
   Malt* malt_;
   int rank_;
   Process* proc_ = nullptr;
   Dstorm* dstorm_ = nullptr;
   std::unique_ptr<FaultMonitor> monitor_;
   Recorder* recorder_ = nullptr;
+
+  Counter* c_phase_ns_[4] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* c_barrier_wait_ns_ = nullptr;
+  Counter* c_ssp_wait_ns_ = nullptr;
 };
 
 class Malt {
@@ -97,6 +124,12 @@ class Malt {
   Engine& engine() { return engine_; }
   Fabric& fabric() { return fabric_; }
   const TrafficStats& traffic() const { return fabric_.stats(); }
+
+  // Cluster telemetry: every layer of every rank (fabric, dstorm, fault,
+  // VOL, worker) records into this domain. Use MetricsJson()/TraceJson()
+  // (or the Write* variants) after Run() for machine-readable exports.
+  TelemetryDomain& telemetry() { return telemetry_; }
+  const TelemetryDomain& telemetry() const { return telemetry_; }
 
   // The dataflow graph selected by options (what CreateVector uses).
   const Graph& dataflow() const { return dataflow_; }
@@ -119,6 +152,7 @@ class Malt {
 
   MaltOptions options_;
   Engine engine_;
+  TelemetryDomain telemetry_;
   Fabric fabric_;
   DstormDomain domain_;
   Graph dataflow_;

@@ -36,12 +36,14 @@ void StoreU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
 
 // --- DstormDomain -----------------------------------------------------------
 
-DstormDomain::DstormDomain(Engine& engine, Fabric& fabric, int nodes)
+DstormDomain::DstormDomain(Engine& engine, Fabric& fabric, int nodes, TelemetryDomain* telemetry)
     : engine_(engine), fabric_(fabric) {
+  TelemetryDomain* tel = telemetry == nullptr ? &fabric.telemetry() : telemetry;
+  MALT_CHECK(tel->ranks() >= nodes) << "telemetry domain smaller than dstorm domain";
   nodes_.reserve(static_cast<size_t>(nodes));
   for (int rank = 0; rank < nodes; ++rank) {
-    nodes_.push_back(
-        std::unique_ptr<Dstorm>(new Dstorm(this, &engine_, &fabric_, rank, nodes)));
+    nodes_.push_back(std::unique_ptr<Dstorm>(
+        new Dstorm(this, &engine_, &fabric_, rank, nodes, &tel->rank(rank))));
   }
   // rkey 0 on every node: the barrier counter array; rkey 1: probe scratch.
   for (int rank = 0; rank < nodes; ++rank) {
@@ -57,14 +59,42 @@ DstormDomain::DstormDomain(Engine& engine, Fabric& fabric, int nodes)
 
 // --- Dstorm -----------------------------------------------------------------
 
-Dstorm::Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world)
+Dstorm::Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world,
+               RankTelemetry* telemetry)
     : domain_(domain),
       engine_(engine),
       fabric_(fabric),
       rank_(rank),
       world_(world),
+      telemetry_(telemetry),
       group_member_(static_cast<size_t>(world), true),
-      peer_failed_(static_cast<size_t>(world), false) {}
+      peer_failed_(static_cast<size_t>(world), false) {
+  MetricRegistry& reg = telemetry_->metrics;
+  c_scatters_ = reg.GetCounter("dstorm.scatters");
+  c_objects_sent_ = reg.GetCounter("dstorm.objects_sent");
+  c_gathers_ = reg.GetCounter("dstorm.gathers");
+  c_objects_folded_ = reg.GetCounter("dstorm.objects_folded");
+  c_torn_skipped_ = reg.GetCounter("dstorm.torn_slots_skipped");
+  c_overwrites_ = reg.GetCounter("dstorm.overwrites_on_full");
+  c_barriers_ = reg.GetCounter("dstorm.barriers");
+  c_barrier_timeouts_ = reg.GetCounter("dstorm.barrier_timeouts");
+  c_error_completions_ = reg.GetCounter("dstorm.error_completions");
+  c_flushes_ = reg.GetCounter("dstorm.flushes");
+  c_flush_ns_ = reg.GetCounter("dstorm.flush_wait_ns");
+  c_probes_ = reg.GetCounter("dstorm.probes");
+  c_send_stalls_ = reg.GetCounter("fabric.send_queue_stalls");
+  c_send_stall_ns_ = reg.GetCounter("fabric.send_queue_stall_ns");
+}
+
+void Dstorm::WaitForSendRoom() {
+  if (fabric_->HasSendRoom(rank_)) {
+    return;
+  }
+  const SimTime t0 = proc_->now();
+  proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+  c_send_stalls_->Add(1);
+  c_send_stall_ns_->Add(proc_->now() - t0);
+}
 
 size_t Dstorm::SlotOffset(const Segment& s, int sender_pos, int slot) const {
   return (static_cast<size_t>(sender_pos) * static_cast<size_t>(s.options.queue_depth) +
@@ -185,13 +215,17 @@ Status Dstorm::ScatterAdd(SegmentId seg, std::span<const float> values) {
     if (!group_member_[static_cast<size_t>(dst)]) {
       continue;
     }
-    proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+    WaitForSendRoom();
     const MrHandle dst_mr{dst, static_cast<uint32_t>(seg) + 2};
     Result<uint64_t> posted = fabric_->PostFloatAdd(rank_, proc_->now(), dst_mr, 0, wire);
     if (!posted.ok() && first_error.ok()) {
       first_error = posted.status();
     }
+    if (posted.ok()) {
+      c_objects_sent_->Add(1);
+    }
   }
+  c_scatters_->Add(1);
   DrainCompletions();
   return first_error;
 }
@@ -238,7 +272,7 @@ Status Dstorm::PostObject(SegmentId seg, int dst, std::span<const std::byte> pay
   StoreU64(wire.data() + kPayloadOff + payload.size(), seq);
 
   // Sender-side back-pressure (paper §3.1): block while the NIC queue is full.
-  proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+  WaitForSendRoom();
 
   const MrHandle dst_mr{dst, static_cast<uint32_t>(seg) + 2};
   const size_t offset = SlotOffset(s, sender_pos, slot);
@@ -246,6 +280,7 @@ Status Dstorm::PostObject(SegmentId seg, int dst, std::span<const std::byte> pay
   if (!posted.ok()) {
     return posted.status();
   }
+  c_objects_sent_->Add(1);
   return OkStatus();
 }
 
@@ -273,6 +308,7 @@ Status Dstorm::ScatterTo(SegmentId seg, std::span<const int> dsts,
       first_error = status;
     }
   }
+  c_scatters_->Add(1);
   DrainCompletions();
   return first_error;
 }
@@ -308,6 +344,7 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
       }
       const uint64_t seq_back = LoadU64(base + kPayloadOff + bytes);
       if (seq_front != seq_back) {
+        c_torn_skipped_->Add(1);
         continue;  // torn (write in flight) — skip, the paper's atomic gather
       }
       if (seq_front <= s.last_consumed[static_cast<size_t>(sender)]) {
@@ -326,14 +363,20 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
       consume(obj);
       const uint64_t previous = s.last_consumed[static_cast<size_t>(sender)];
       if (fresh[i].seq > previous + 1 && previous != 0) {
-        s.lost_updates += static_cast<int64_t>(fresh[i].seq - previous - 1);
+        const int64_t gap = static_cast<int64_t>(fresh[i].seq - previous - 1);
+        s.lost_updates += gap;
+        c_overwrites_->Add(gap);
       } else if (previous == 0 && fresh[i].seq > 1 && i == 0) {
-        s.lost_updates += static_cast<int64_t>(fresh[i].seq - 1);
+        const int64_t gap = static_cast<int64_t>(fresh[i].seq - 1);
+        s.lost_updates += gap;
+        c_overwrites_->Add(gap);
       }
       s.last_consumed[static_cast<size_t>(sender)] = fresh[i].seq;
       ++consumed;
     }
   }
+  c_gathers_->Add(1);
+  c_objects_folded_->Add(consumed);
   return consumed;
 }
 
@@ -402,6 +445,7 @@ void Dstorm::DrainCompletions() {
       if (batch[i].status == WcStatus::kSuccess) {
         continue;
       }
+      c_error_completions_->Add(1);
       const int dst = batch[i].dst;
       if (!peer_failed_[static_cast<size_t>(dst)]) {
         peer_failed_[static_cast<size_t>(dst)] = true;
@@ -415,7 +459,10 @@ void Dstorm::DrainCompletions() {
 
 Status Dstorm::Flush() {
   MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  const SimTime t0 = proc_->now();
   proc_->WaitUntil([this] { return fabric_->OutstandingWrites(rank_) == 0; });
+  c_flushes_->Add(1);
+  c_flush_ns_->Add(proc_->now() - t0);
   DrainCompletions();
   return failed_unreported_.empty()
              ? OkStatus()
@@ -432,7 +479,8 @@ bool Dstorm::ProbePeer(int peer) {
   }
   std::byte wire[sizeof(uint64_t)];
   StoreU64(wire, ++probe_count_);
-  proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+  c_probes_->Add(1);
+  WaitForSendRoom();
   const MrHandle dst_mr{peer, 1};
   Result<uint64_t> posted = fabric_->PostWrite(rank_, proc_->now(), dst_mr,
                                                static_cast<size_t>(rank_) * sizeof(uint64_t),
@@ -474,6 +522,7 @@ std::vector<int> Dstorm::GroupMembers() const {
 
 Status Dstorm::Barrier(SimDuration timeout) {
   ++barrier_round_;
+  c_barriers_->Add(1);
   return BarrierResume(timeout);
 }
 
@@ -488,7 +537,7 @@ void Dstorm::FinishBarriers() {
     if (member == rank_) {
       continue;
     }
-    proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+    WaitForSendRoom();
     const MrHandle dst_mr{member, 0};
     (void)fabric_->PostWrite(rank_, proc_->now(), dst_mr,
                              static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
@@ -512,7 +561,7 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
     if (member == rank_) {
       continue;
     }
-    proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+    WaitForSendRoom();
     const MrHandle dst_mr{member, 0};
     Result<uint64_t> posted = fabric_->PostWrite(
         rank_, proc_->now(), dst_mr, static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
@@ -545,8 +594,11 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
   }
   const bool ok = proc_->WaitUntilOr(arrived, proc_->now() + timeout);
   DrainCompletions();
-  return ok ? OkStatus() : DeadlineExceededError("barrier timeout on rank " +
-                                                 std::to_string(rank_));
+  if (!ok) {
+    c_barrier_timeouts_->Add(1);
+    return DeadlineExceededError("barrier timeout on rank " + std::to_string(rank_));
+  }
+  return OkStatus();
 }
 
 }  // namespace malt

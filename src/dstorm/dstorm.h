@@ -59,6 +59,11 @@ class Dstorm {
   // Binds this endpoint to its simulator process; required before use.
   void Bind(Process& proc) { proc_ = &proc; }
   Process& process() const { return *proc_; }
+  bool bound() const { return proc_ != nullptr; }
+
+  // This rank's telemetry bundle (metric registry + trace ring). Higher
+  // layers (VOL, fault monitor) instrument through this.
+  RankTelemetry& telemetry() const { return *telemetry_; }
 
   // Collective: every live node must call with identical options; segments
   // are numbered by call order. Registers the receive memory on this node.
@@ -172,11 +177,15 @@ class Dstorm {
     int64_t lost_updates = 0;               // sequence gaps seen while consuming
   };
 
-  Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world);
+  Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world,
+         RankTelemetry* telemetry);
 
   Status PostObject(SegmentId seg, int dst, std::span<const std::byte> payload, uint32_t iter);
   void DrainCompletions();
   size_t SlotOffset(const Segment& s, int sender_pos, int slot) const;
+  // Blocks until the NIC send queue has room, charging the stall and its
+  // virtual duration to the fabric.send_queue_stall* counters.
+  void WaitForSendRoom();
 
   DstormDomain* domain_;
   Engine* engine_;
@@ -184,6 +193,23 @@ class Dstorm {
   Process* proc_ = nullptr;
   int rank_;
   int world_;
+
+  // Cached telemetry cells (registered once in the constructor).
+  RankTelemetry* telemetry_ = nullptr;
+  Counter* c_scatters_ = nullptr;
+  Counter* c_objects_sent_ = nullptr;
+  Counter* c_gathers_ = nullptr;
+  Counter* c_objects_folded_ = nullptr;
+  Counter* c_torn_skipped_ = nullptr;
+  Counter* c_overwrites_ = nullptr;
+  Counter* c_barriers_ = nullptr;
+  Counter* c_barrier_timeouts_ = nullptr;
+  Counter* c_error_completions_ = nullptr;
+  Counter* c_flushes_ = nullptr;
+  Counter* c_flush_ns_ = nullptr;
+  Counter* c_probes_ = nullptr;
+  Counter* c_send_stalls_ = nullptr;
+  Counter* c_send_stall_ns_ = nullptr;
 
   std::vector<Segment> segments_;
   int created_count_ = 0;  // segments this node has itself created
@@ -204,7 +230,9 @@ class Dstorm {
 // Owns the per-node endpoints and the collective segment-creation registry.
 class DstormDomain {
  public:
-  DstormDomain(Engine& engine, Fabric& fabric, int nodes);
+  // Endpoints record telemetry into `telemetry` (one registry per rank);
+  // null falls back to the fabric's domain, so standalone stacks share one.
+  DstormDomain(Engine& engine, Fabric& fabric, int nodes, TelemetryDomain* telemetry = nullptr);
 
   Dstorm& node(int rank) { return *nodes_[static_cast<size_t>(rank)]; }
   int size() const { return static_cast<int>(nodes_.size()); }

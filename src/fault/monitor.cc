@@ -6,17 +6,35 @@
 
 namespace malt {
 
+FaultMonitor::FaultMonitor(Dstorm& dstorm, FaultMonitorOptions options)
+    : dstorm_(dstorm), options_(options) {
+  MetricRegistry& reg = dstorm_.telemetry().metrics;
+  c_checks_ = reg.GetCounter("fault.checks");
+  c_suspects_ = reg.GetCounter("fault.suspects");
+  c_health_checks_ = reg.GetCounter("fault.health_checks");
+  c_recoveries_ = reg.GetCounter("fault.recoveries");
+  c_nodes_removed_ = reg.GetCounter("fault.nodes_removed");
+  c_local_faults_ = reg.GetCounter("fault.local_faults_trapped");
+}
+
 std::vector<int> FaultMonitor::CheckAndRecover() {
+  c_checks_->Add(1);
   const std::vector<int> suspects = dstorm_.TakeFailedPeers();
   if (suspects.empty()) {
     return {};
   }
+  c_suspects_->Add(static_cast<int64_t>(suspects.size()));
+  dstorm_.telemetry().trace.Instant("fault.detect", dstorm_.process().now(), "suspects",
+                                    static_cast<int64_t>(suspects.size()));
   MALT_LOG_S(kInfo) << "fault monitor rank " << dstorm_.rank() << ": " << suspects.size()
                     << " suspect peer(s); running health check";
   return HealthCheckAndRecover();
 }
 
 std::vector<int> FaultMonitor::HealthCheckAndRecover() {
+  c_health_checks_->Add(1);
+  TraceRing& trace = dstorm_.telemetry().trace;
+  trace.Begin("fault.health_check", dstorm_.process().now());
   std::vector<int> removed;
   for (int member : dstorm_.GroupMembers()) {
     if (member == dstorm_.rank()) {
@@ -31,6 +49,7 @@ std::vector<int> FaultMonitor::HealthCheckAndRecover() {
   }
   // Drop any residual failure reports for nodes we just removed.
   (void)dstorm_.TakeFailedPeers();
+  trace.End("fault.health_check", dstorm_.process().now());
   return removed;
 }
 
@@ -51,6 +70,10 @@ void FaultMonitor::Recover(const std::vector<int>& removed) {
   // Model the RDMA re-registration + queue rebuild delay (paper §3.3).
   dstorm_.process().Advance(options_.recovery_cost);
   ++recoveries_;
+  c_recoveries_->Add(1);
+  c_nodes_removed_->Add(static_cast<int64_t>(removed.size()));
+  dstorm_.telemetry().trace.Instant("fault.rebuild", dstorm_.process().now(), "removed",
+                                    static_cast<int64_t>(removed.size()));
   for (const auto& listener : listeners_) {
     listener(removed);
   }
@@ -75,6 +98,7 @@ void FaultMonitor::GuardLocal(const std::function<void()>& fn) {
     // The paper's local fault monitor traps processor exceptions (divide by
     // zero, segfault, ...) and terminates the local training process; peers
     // then observe the dead node through failed writes.
+    c_local_faults_->Add(1);
     MALT_LOG_S(kError) << "rank " << dstorm_.rank()
                        << ": local fault trapped: " << e.what() << "; terminating replica";
     Process& proc = dstorm_.process();

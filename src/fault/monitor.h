@@ -39,8 +39,7 @@ struct FaultMonitorOptions {
 
 class FaultMonitor {
  public:
-  FaultMonitor(Dstorm& dstorm, FaultMonitorOptions options)
-      : dstorm_(dstorm), options_(options) {}
+  FaultMonitor(Dstorm& dstorm, FaultMonitorOptions options);
 
   // Invoked when the caller observed membership changes: survivors list
   // after relabeling is NOT applied — ranks keep their original ids.
@@ -75,6 +74,14 @@ class FaultMonitor {
   FaultMonitorOptions options_;
   std::vector<RecoveryListener> listeners_;
   int64_t recoveries_ = 0;
+
+  // Telemetry cells, shared with the dstorm endpoint's rank registry.
+  Counter* c_checks_ = nullptr;
+  Counter* c_suspects_ = nullptr;
+  Counter* c_health_checks_ = nullptr;
+  Counter* c_recoveries_ = nullptr;
+  Counter* c_nodes_removed_ = nullptr;
+  Counter* c_local_faults_ = nullptr;
 };
 
 }  // namespace malt

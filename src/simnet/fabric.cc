@@ -23,10 +23,13 @@ int64_t TrafficStats::TotalMessages() const {
   return total;
 }
 
-Fabric::Fabric(Engine& engine, int nodes, FabricOptions options)
+Fabric::Fabric(Engine& engine, int nodes, FabricOptions options, TelemetryDomain* telemetry)
     : engine_(engine),
       nodes_(nodes),
       options_(options),
+      owned_telemetry_(telemetry == nullptr ? std::make_unique<TelemetryDomain>(nodes)
+                                            : nullptr),
+      telemetry_(telemetry == nullptr ? owned_telemetry_.get() : telemetry),
       stats_(nodes),
       regions_(static_cast<size_t>(nodes)),
       cq_(static_cast<size_t>(nodes)),
@@ -34,7 +37,32 @@ Fabric::Fabric(Engine& engine, int nodes, FabricOptions options)
       nic_busy_until_(static_cast<size_t>(nodes), 0),
       alive_(static_cast<size_t>(nodes), true),
       unreachable_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes), false) {
+  MALT_CHECK(telemetry_->ranks() >= nodes) << "telemetry domain smaller than fabric";
+  counters_.resize(static_cast<size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    MetricRegistry& reg = telemetry_->rank(node).metrics;
+    NodeCounters& c = counters_[static_cast<size_t>(node)];
+    c.writes_posted = reg.GetCounter("fabric.writes_posted");
+    c.float_adds_posted = reg.GetCounter("fabric.float_adds_posted");
+    c.bytes_sent = reg.GetCounter("fabric.bytes_sent");
+    c.bytes_received = reg.GetCounter("fabric.bytes_received");
+    c.completions_success = reg.GetCounter("fabric.completions.success");
+    c.completions_remote_dead = reg.GetCounter("fabric.completions.remote_dead");
+    c.completions_unreachable = reg.GetCounter("fabric.completions.unreachable");
+    c.completions_invalid_rkey = reg.GetCounter("fabric.completions.invalid_rkey");
+    c.write_bytes = reg.GetHistogram("fabric.write_bytes",
+                                     HistogramMetric::Options{0.0, 1.0e6, 64});
+  }
   engine_.AddKillHook([this](int pid) { OnKill(pid); });
+}
+
+void Fabric::AccountPost(int src, int dst, size_t bytes, bool float_add) {
+  stats_.Record(src, dst, bytes);
+  NodeCounters& sc = counters_[static_cast<size_t>(src)];
+  (float_add ? sc.float_adds_posted : sc.writes_posted)->Add(1);
+  sc.bytes_sent->Add(static_cast<int64_t>(bytes));
+  sc.write_bytes->Observe(static_cast<double>(bytes));
+  counters_[static_cast<size_t>(dst)].bytes_received->Add(static_cast<int64_t>(bytes));
 }
 
 void Fabric::OnKill(int pid) {
@@ -95,6 +123,21 @@ void Fabric::DeliverCompletion(int src, uint64_t wr_id, int dst, WcStatus status
     }
     cq_[static_cast<size_t>(src)].push_back(Completion{wr_id, dst, status});
     outstanding_[static_cast<size_t>(src)] -= 1;
+    NodeCounters& sc = counters_[static_cast<size_t>(src)];
+    switch (status) {
+      case WcStatus::kSuccess:
+        sc.completions_success->Add(1);
+        break;
+      case WcStatus::kRemoteDead:
+        sc.completions_remote_dead->Add(1);
+        break;
+      case WcStatus::kUnreachable:
+        sc.completions_unreachable->Add(1);
+        break;
+      case WcStatus::kInvalidRkey:
+        sc.completions_invalid_rkey->Add(1);
+        break;
+    }
   });
 }
 
@@ -119,7 +162,7 @@ Result<uint64_t> Fabric::PostWrite(int src, SimTime now, MrHandle dst_mr, size_t
   const SimTime ack = arrival + options_.net.latency;
 
   outstanding_[static_cast<size_t>(src)] += 1;
-  stats_.Record(src, dst, data.size());
+  AccountPost(src, dst, data.size(), /*float_add=*/false);
 
   // DMA snapshot: the payload is captured at post time, so the application
   // may immediately reuse its buffer (same contract as a copying send; the
@@ -186,7 +229,7 @@ Result<uint64_t> Fabric::PostFloatAdd(int src, SimTime now, MrHandle dst_mr, siz
   const SimTime ack = arrival + options_.net.latency;
 
   outstanding_[static_cast<size_t>(src)] += 1;
-  stats_.Record(src, dst, bytes);
+  AccountPost(src, dst, bytes, /*float_add=*/true);
 
   auto payload = std::make_shared<std::vector<float>>(values.begin(), values.end());
   engine_.ScheduleEvent(arrival, [this, src, dst, dst_mr, dst_offset, wr_id, ack, payload] {

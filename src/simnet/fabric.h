@@ -32,6 +32,7 @@
 #include "src/base/status.h"
 #include "src/base/time_units.h"
 #include "src/sim/engine.h"
+#include "src/telemetry/telemetry.h"
 
 namespace malt {
 
@@ -105,12 +106,18 @@ class TrafficStats {
 
 class Fabric {
  public:
-  Fabric(Engine& engine, int nodes, FabricOptions options);
+  // When `telemetry` is null the fabric creates a private domain, so
+  // standalone construction (tests, microbenches) still gets counters; the
+  // runtime passes its own domain so all layers of a rank share registries.
+  Fabric(Engine& engine, int nodes, FabricOptions options,
+         TelemetryDomain* telemetry = nullptr);
 
   int nodes() const { return nodes_; }
   const FabricOptions& options() const { return options_; }
   TrafficStats& stats() { return stats_; }
   const TrafficStats& stats() const { return stats_; }
+  TelemetryDomain& telemetry() { return *telemetry_; }
+  const TelemetryDomain& telemetry() const { return *telemetry_; }
 
   // Registers `bytes` of fabric-owned memory on `node`; the region is
   // remotely writable by any peer holding the handle.
@@ -162,12 +169,30 @@ class Fabric {
     bool registered = true;
   };
 
+  // Per-node counter cells, resolved once at construction (hot-path bumps
+  // are plain integer adds; see src/telemetry/metrics.h).
+  struct NodeCounters {
+    Counter* writes_posted = nullptr;
+    Counter* float_adds_posted = nullptr;
+    Counter* bytes_sent = nullptr;
+    Counter* bytes_received = nullptr;
+    Counter* completions_success = nullptr;
+    Counter* completions_remote_dead = nullptr;
+    Counter* completions_unreachable = nullptr;
+    Counter* completions_invalid_rkey = nullptr;
+    HistogramMetric* write_bytes = nullptr;
+  };
+
   void OnKill(int pid);
   void DeliverCompletion(int src, uint64_t wr_id, int dst, WcStatus status, SimTime when);
+  void AccountPost(int src, int dst, size_t bytes, bool float_add);
 
   Engine& engine_;
   const int nodes_;
   const FabricOptions options_;
+  std::unique_ptr<TelemetryDomain> owned_telemetry_;  // set when none was passed
+  TelemetryDomain* telemetry_;
+  std::vector<NodeCounters> counters_;  // [node]
   TrafficStats stats_;
   std::vector<std::vector<std::unique_ptr<Region>>> regions_;  // [node][rkey]
   std::vector<std::deque<Completion>> cq_;                     // [node]

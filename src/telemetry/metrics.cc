@@ -1,0 +1,253 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/log.h"
+
+namespace malt {
+
+HistogramMetric::HistogramMetric() : HistogramMetric(Options{}) {}
+
+HistogramMetric::HistogramMetric(Options options)
+    : options_(options),
+      width_((options.hi - options.lo) / static_cast<double>(options.buckets)),
+      buckets_(static_cast<size_t>(options.buckets), 0) {
+  MALT_CHECK(options.buckets >= 1) << "histogram needs >= 1 bucket";
+  MALT_CHECK(options.hi > options.lo) << "histogram needs hi > lo";
+}
+
+void HistogramMetric::Observe(double x) {
+  int idx = static_cast<int>((x - options_.lo) / width_);
+  idx = std::clamp(idx, 0, options_.buckets - 1);
+  buckets_[static_cast<size_t>(idx)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += 1;
+  sum_ += x;
+}
+
+void HistogramMetric::Merge(const HistogramMetric& other) {
+  MALT_CHECK(options_ == other.options_) << "merging histograms with different bucket layouts";
+  if (other.count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double HistogramMetric::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double within =
+          in_bucket == 0 ? 0.0
+                         : (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double lo = options_.lo + width_ * static_cast<double>(i);
+      return std::clamp(lo + width_ * within, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
+                                              HistogramMetric::Options options) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>(options);
+  }
+  return slot.get();
+}
+
+int64_t MetricRegistry::CounterValue(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricRegistry::GaugeValue(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+const HistogramMetric* MetricRegistry::FindHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricRegistry::Merge(const MetricRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(name)->Add(counter->value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    Gauge* mine = GetGauge(name);
+    mine->Set(mine->value() + gauge->value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    GetHistogram(name, histogram->options())->Merge(*histogram);
+  }
+}
+
+void MetricRegistry::ForEachCounter(
+    const std::function<void(const std::string&, int64_t)>& fn) const {
+  for (const auto& [name, counter] : counters_) {
+    fn(name, counter->value());
+  }
+}
+
+void MetricRegistry::ForEachGauge(
+    const std::function<void(const std::string&, double)>& fn) const {
+  for (const auto& [name, gauge] : gauges_) {
+    fn(name, gauge->value());
+  }
+}
+
+void MetricRegistry::ForEachHistogram(
+    const std::function<void(const std::string&, const HistogramMetric&)>& fn) const {
+  for (const auto& [name, histogram] : histograms_) {
+    fn(name, *histogram);
+  }
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("0");
+    return;
+  }
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out->append(buf);
+}
+
+void MetricRegistry::AppendJson(std::string* out) const {
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    AppendJsonEscaped(out, name);
+    out->push_back(':');
+    AppendJsonNumber(out, static_cast<double>(counter->value()));
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    AppendJsonEscaped(out, name);
+    out->push_back(':');
+    AppendJsonNumber(out, gauge->value());
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    AppendJsonEscaped(out, name);
+    out->append(":{\"count\":");
+    AppendJsonNumber(out, static_cast<double>(h->count()));
+    out->append(",\"sum\":");
+    AppendJsonNumber(out, h->sum());
+    out->append(",\"min\":");
+    AppendJsonNumber(out, h->min());
+    out->append(",\"max\":");
+    AppendJsonNumber(out, h->max());
+    out->append(",\"mean\":");
+    AppendJsonNumber(out, h->mean());
+    out->append(",\"p50\":");
+    AppendJsonNumber(out, h->Percentile(50));
+    out->append(",\"p90\":");
+    AppendJsonNumber(out, h->Percentile(90));
+    out->append(",\"p99\":");
+    AppendJsonNumber(out, h->Percentile(99));
+    out->push_back('}');
+  }
+  out->append("}}");
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::string out;
+  AppendJson(&out);
+  return out;
+}
+
+}  // namespace malt

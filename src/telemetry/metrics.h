@@ -1,0 +1,132 @@
+// Telemetry metric primitives: counters, gauges, histograms, and the
+// per-rank registry that owns them.
+//
+// Design (see DESIGN.md §8 "Observability"):
+//   - Registration is by dotted name ("fabric.bytes_sent"); the registry
+//     returns a stable pointer, so hot paths register once (typically at
+//     construction) and then bump a plain integer — no map lookup, no lock.
+//     The simulator serializes all rank execution, so no atomics are needed
+//     either; on real hardware the cells would become std::atomic.
+//   - Every rank gets its own registry (see telemetry.h); Merge() folds the
+//     per-rank registries into a cluster-wide aggregate at run end.
+//   - Counters are monotonic int64 event counts (suffix convention: `_ns`
+//     for virtual-nanosecond totals). Gauges are last-written doubles.
+//     Histograms are fixed-bucket distributions with mergeable state and
+//     percentile queries.
+
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace malt {
+
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-width linear buckets over [lo, hi); samples outside clamp to the edge
+// buckets, so percentiles saturate rather than lose mass. Two histograms
+// merge only if their bucket layouts match.
+class HistogramMetric {
+ public:
+  struct Options {
+    double lo = 0.0;
+    double hi = 1.0e9;
+    int buckets = 64;
+    bool operator==(const Options&) const = default;
+  };
+
+  // Two overloads rather than a defaulted `Options{}` argument: gcc rejects
+  // default member initializers used in a default argument before the
+  // enclosing class is complete.
+  HistogramMetric();
+  explicit HistogramMetric(Options options);
+
+  void Observe(double x);
+  void Merge(const HistogramMetric& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  // Linear interpolation within the owning bucket; p in [0, 100].
+  double Percentile(double p) const;
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Owns all metrics of one rank. Lookup by name is O(log n) and intended for
+// registration and for post-run readers; instrumented code caches the
+// returned pointers (stable for the registry's lifetime).
+class MetricRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name,
+                                HistogramMetric::Options options = HistogramMetric::Options{});
+
+  // Read-side lookups; missing names read as zero / null.
+  int64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  const HistogramMetric* FindHistogram(const std::string& name) const;
+
+  // Folds `other` into this registry: counters add, gauges sum (per-rank
+  // gauges are shares of a cluster total), histograms merge bucket-wise.
+  void Merge(const MetricRegistry& other);
+
+  void ForEachCounter(const std::function<void(const std::string&, int64_t)>& fn) const;
+  void ForEachGauge(const std::function<void(const std::string&, double)>& fn) const;
+  void ForEachHistogram(
+      const std::function<void(const std::string&, const HistogramMetric&)>& fn) const;
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  // mean,p50,p90,p99}}}
+  void AppendJson(std::string* out) const;
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+// Minimal JSON string escaping for metric/trace names.
+void AppendJsonEscaped(std::string* out, const std::string& s);
+// Formats a double with enough precision for byte counts and nanoseconds;
+// integral values print without a fractional part.
+void AppendJsonNumber(std::string* out, double v);
+
+}  // namespace malt
+
+#endif  // SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,80 @@
+// Per-rank trace event ring.
+//
+// A bounded ring of typed events stamped with virtual SimTime. Producers emit
+// begin/end ("B"/"E") spans, instants ("i"), and complete spans ("X") with
+// string-literal names (the ring stores the pointers; callers must pass
+// static strings). When the ring is full the oldest event is overwritten and
+// `dropped()` counts the loss, so a long run keeps its newest window instead
+// of failing or growing without bound.
+//
+// Export: WriteChromeTrace() renders one or more rings (one per rank) as a
+// Chrome trace_event JSON array — loadable in chrome://tracing and Perfetto —
+// with pid 0 ("malt cluster") and tid = rank, so a whole simulated cluster
+// run is inspectable on one timeline. Virtual nanoseconds are emitted as the
+// viewer's native microseconds.
+
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+
+namespace malt {
+
+struct TraceEvent {
+  const char* name = "";  // static string (literal); not owned
+  char ph = 'i';          // Chrome phase: 'B', 'E', 'i', 'X'
+  SimTime ts = 0;
+  SimDuration dur = 0;           // 'X' events only
+  const char* arg_name = nullptr;  // optional single argument (static string)
+  int64_t arg = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 16384);
+
+  void Emit(const TraceEvent& event);
+  void Begin(const char* name, SimTime ts) { Emit({name, 'B', ts, 0, nullptr, 0}); }
+  void End(const char* name, SimTime ts) { Emit({name, 'E', ts, 0, nullptr, 0}); }
+  void Instant(const char* name, SimTime ts) { Emit({name, 'i', ts, 0, nullptr, 0}); }
+  void Instant(const char* name, SimTime ts, const char* arg_name, int64_t arg) {
+    Emit({name, 'i', ts, 0, arg_name, arg});
+  }
+  void Complete(const char* name, SimTime ts, SimDuration dur) {
+    Emit({name, 'X', ts, dur, nullptr, 0});
+  }
+
+  size_t capacity() const { return buf_.size(); }
+  size_t size() const { return size_; }
+  int64_t dropped() const { return dropped_; }
+  bool empty() const { return size_ == 0; }
+
+  // Visits retained events oldest-first (emission order; per-rank timestamps
+  // are monotone, so this is also SimTime order).
+  void ForEach(const std::function<void(const TraceEvent&)>& fn) const;
+  std::vector<TraceEvent> Snapshot() const;
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> buf_;
+  size_t next_ = 0;  // slot the next emit writes
+  size_t size_ = 0;
+  int64_t dropped_ = 0;
+};
+
+// Renders `rings` (tid = index) as one Chrome trace_event JSON array. Every
+// event object carries the full required key set {"name","ph","ts","pid",
+// "tid"}; thread-name metadata records label each rank's track.
+void AppendChromeTrace(std::string* out, const std::vector<const TraceRing*>& rings);
+Status WriteChromeTrace(const std::string& path, const std::vector<const TraceRing*>& rings);
+
+}  // namespace malt
+
+#endif  // SRC_TELEMETRY_TRACE_H_

@@ -33,6 +33,13 @@ MaltVector::MaltVector(Dstorm& dstorm, MaltVectorOptions options)
   segment_ = dstorm_.CreateSegment(seg);
   local_.assign(options_.dim, 0.0f);
   wire_.resize(obj_bytes_);
+
+  MetricRegistry& reg = dstorm_.telemetry().metrics;
+  c_scatters_ = reg.GetCounter("vol.scatters");
+  c_gathers_ = reg.GetCounter("vol.gathers");
+  c_updates_folded_ = reg.GetCounter("vol.updates_folded");
+  c_values_folded_ = reg.GetCounter("vol.values_folded");
+  c_stale_dropped_ = reg.GetCounter("dstorm.stale_objects_dropped");
 }
 
 Status MaltVector::EncodeAndScatter(std::span<const int>* dsts) {
@@ -59,6 +66,7 @@ Status MaltVector::EncodeAndScatter(std::span<const int>* dsts) {
     }
     payload = std::span<const std::byte>(wire_.data(), 4 + static_cast<size_t>(nnz) * 8);
   }
+  c_scatters_->Add(1);
   if (dsts == nullptr) {
     return dstorm_.Scatter(segment_, payload, iteration_);
   }
@@ -85,6 +93,7 @@ Status MaltVector::ScatterIndices(std::span<const uint32_t> indices) {
     val_out[k] = local_[indices[k]];
   }
   const std::span<const std::byte> payload(wire_.data(), 4 + static_cast<size_t>(nnz) * 8);
+  c_scatters_->Add(1);
   return dstorm_.Scatter(segment_, payload, iteration_);
 }
 
@@ -121,11 +130,15 @@ std::vector<MaltVector::Decoded> MaltVector::Collect(int64_t min_iter) {
     }
     updates.push_back(d);
   });
+  c_gathers_->Add(1);
   if (min_iter >= 0) {
+    const size_t before = updates.size();
     std::erase_if(updates, [min_iter](const Decoded& d) {
       return static_cast<int64_t>(d.iter) < min_iter;
     });
+    c_stale_dropped_->Add(static_cast<int64_t>(before - updates.size()));
   }
+  c_updates_folded_->Add(static_cast<int64_t>(updates.size()));
   return updates;
 }
 
@@ -140,6 +153,7 @@ GatherResult MaltVector::FoldAll(const std::vector<Decoded>& updates, const Fold
     result.min_iter = result.min_iter < 0 ? iter : std::min(result.min_iter, iter);
     result.max_iter = std::max(result.max_iter, iter);
   }
+  c_values_folded_->Add(result.values_folded);
   return result;
 }
 
@@ -156,6 +170,7 @@ GatherResult MaltVector::GatherAverage(int64_t min_iter) {
     result.min_iter = result.min_iter < 0 ? iter : std::min(result.min_iter, iter);
     result.max_iter = std::max(result.max_iter, iter);
   }
+  c_values_folded_->Add(result.values_folded);
 
   // local = (local + sum incoming) / (1 + k). For sparse updates only the
   // touched coordinates participate (per-coordinate k = number of updates

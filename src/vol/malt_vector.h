@@ -146,6 +146,13 @@ class MaltVector {
   std::vector<float> local_;
   std::vector<std::byte> wire_;  // scatter encode buffer
   uint32_t iteration_ = 0;
+
+  // Telemetry cells (shared per-rank registry, resolved once).
+  Counter* c_scatters_ = nullptr;
+  Counter* c_gathers_ = nullptr;
+  Counter* c_updates_folded_ = nullptr;
+  Counter* c_values_folded_ = nullptr;
+  Counter* c_stale_dropped_ = nullptr;
 };
 
 }  // namespace malt

@@ -215,6 +215,11 @@ TEST(Dstorm, TornWriteSkippedThenConsumed) {
   });
   EXPECT_EQ(consumed_mid, 0);
   EXPECT_EQ(consumed_late, 1);
+  // The torn skip is visible in rank 1's telemetry registry (shared through
+  // the fabric's fallback domain).
+  const MetricRegistry& metrics = cluster.fabric.telemetry().rank(1).metrics;
+  EXPECT_EQ(metrics.CounterValue("dstorm.torn_slots_skipped"), 1);
+  EXPECT_EQ(metrics.CounterValue("dstorm.objects_folded"), 1);
 }
 
 TEST(Dstorm, BarrierSynchronizesClocks) {

@@ -1,0 +1,131 @@
+// Metric registry semantics: counter/gauge/histogram registration, stable
+// pointers, cross-rank merge, percentile queries, and JSON export shape.
+
+#include "src/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/telemetry/telemetry.h"
+
+namespace malt {
+namespace {
+
+TEST(Metrics, CounterRegistrationIsStableAndIdempotent) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("dstorm.scatters");
+  Counter* b = reg.GetCounter("dstorm.scatters");
+  EXPECT_EQ(a, b);  // same name -> same cell
+  a->Add();
+  b->Add(41);
+  EXPECT_EQ(a->value(), 42);
+  EXPECT_EQ(reg.CounterValue("dstorm.scatters"), 42);
+  EXPECT_EQ(reg.CounterValue("never.registered"), 0);
+}
+
+TEST(Metrics, GaugeHoldsLastWrite) {
+  MetricRegistry reg;
+  Gauge* g = reg.GetGauge("worker.progress");
+  g->Set(0.25);
+  g->Set(0.75);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("worker.progress"), 0.75);
+}
+
+TEST(Metrics, HistogramObserveAndStats) {
+  MetricRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("fabric.write_bytes",
+                                        HistogramMetric::Options{0.0, 100.0, 10});
+  for (int i = 1; i <= 100; ++i) {
+    h->Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(h->count(), 100);
+  EXPECT_DOUBLE_EQ(h->sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 50.5);
+  // Uniform data: percentiles land near their nominal positions (bucketed
+  // resolution, so allow one bucket width of slack).
+  EXPECT_NEAR(h->Percentile(50), 50.0, 10.0);
+  EXPECT_NEAR(h->Percentile(90), 90.0, 10.0);
+  EXPECT_GE(h->Percentile(100), h->Percentile(0));
+}
+
+TEST(Metrics, HistogramClampsOutOfRangeToEdgeBuckets) {
+  HistogramMetric h(HistogramMetric::Options{0.0, 10.0, 5});
+  h.Observe(-50.0);
+  h.Observe(1e9);
+  EXPECT_EQ(h.count(), 2);
+  // Percentiles saturate at the observed extremes instead of losing mass.
+  EXPECT_DOUBLE_EQ(h.min(), -50.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_LE(h.Percentile(0), h.Percentile(100));
+}
+
+TEST(Metrics, MergeAddsCountersSumsGaugesMergesHistograms) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetCounter("fabric.bytes_sent")->Add(100);
+  b.GetCounter("fabric.bytes_sent")->Add(23);
+  b.GetCounter("only.in_b")->Add(7);
+  a.GetGauge("load")->Set(0.5);
+  b.GetGauge("load")->Set(0.25);
+  a.GetHistogram("lat", HistogramMetric::Options{0.0, 10.0, 10})->Observe(1.0);
+  b.GetHistogram("lat", HistogramMetric::Options{0.0, 10.0, 10})->Observe(9.0);
+
+  a.Merge(b);
+  EXPECT_EQ(a.CounterValue("fabric.bytes_sent"), 123);
+  EXPECT_EQ(a.CounterValue("only.in_b"), 7);
+  EXPECT_DOUBLE_EQ(a.GaugeValue("load"), 0.75);
+  const HistogramMetric* h = a.FindHistogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2);
+  EXPECT_DOUBLE_EQ(h->sum(), 10.0);
+}
+
+TEST(Metrics, DomainMergedAggregatesAcrossRanks) {
+  TelemetryDomain domain(3);
+  for (int r = 0; r < 3; ++r) {
+    domain.rank(r).metrics.GetCounter("dstorm.scatters")->Add(r + 1);
+  }
+  const MetricRegistry merged = domain.Merged();
+  EXPECT_EQ(merged.CounterValue("dstorm.scatters"), 6);
+}
+
+TEST(Metrics, JsonExportIsWellFormedAndComplete) {
+  MetricRegistry reg;
+  reg.GetCounter("a.count")->Add(3);
+  reg.GetGauge("b.gauge")->Set(1.5);
+  reg.GetHistogram("c.hist")->Observe(42.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.gauge\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check without a JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Metrics, DomainMetricsJsonHasAggregateAndPerRank) {
+  TelemetryDomain domain(2);
+  domain.rank(0).metrics.GetCounter("x")->Add(1);
+  domain.rank(1).metrics.GetCounter("x")->Add(2);
+  const std::string json = domain.MetricsJson();
+  EXPECT_NE(json.find("\"ranks\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_rank\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\":3"), std::string::npos);  // aggregate sum
+}
+
+TEST(Metrics, JsonEscaping) {
+  std::string out;
+  AppendJsonEscaped(&out, "a\"b\\c\n");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\"");
+}
+
+}  // namespace
+}  // namespace malt

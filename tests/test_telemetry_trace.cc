@@ -1,0 +1,131 @@
+// Trace ring semantics: bounded capacity with oldest-first overwrite,
+// SimTime ordering of the export, and Chrome trace_event JSON validity.
+
+#include "src/telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace malt {
+namespace {
+
+TEST(Trace, EmitAndForEachOldestFirst) {
+  TraceRing ring(8);
+  ring.Begin("compute", 100);
+  ring.End("compute", 250);
+  ring.Instant("fault.detect", 300);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 0);
+
+  std::vector<SimTime> ts;
+  ring.ForEach([&](const TraceEvent& e) { ts.push_back(e.ts); });
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  EXPECT_EQ(ts.front(), 100);
+  EXPECT_EQ(ts.back(), 300);
+}
+
+TEST(Trace, RingWraparoundKeepsNewestWindow) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.Instant("tick", i * 100);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6);
+
+  std::vector<SimTime> ts;
+  ring.ForEach([&](const TraceEvent& e) { ts.push_back(e.ts); });
+  // The newest four events survive, still oldest-first.
+  EXPECT_EQ(ts, (std::vector<SimTime>{600, 700, 800, 900}));
+}
+
+TEST(Trace, ClearResets) {
+  TraceRing ring(4);
+  ring.Instant("x", 1);
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(Trace, ChromeExportHasRequiredKeysPerEvent) {
+  TraceRing r0(16);
+  TraceRing r1(16);
+  r0.Begin("compute", 1000);
+  r0.End("compute", 3000);
+  r1.Instant("fault.detect", 2000, "suspects", 2);
+
+  std::string json;
+  AppendChromeTrace(&json, {&r0, &r1});
+
+  // Array shape (allow trailing whitespace).
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.find_last_not_of(" \n\t")], ']');
+  // Every event object carries the full required key set.
+  const size_t objects = static_cast<size_t>(
+      std::count(json.begin(), json.end(), '{'));
+  for (const char* key : {"\"name\":", "\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"}) {
+    size_t hits = 0;
+    for (size_t pos = json.find(key); pos != std::string::npos; pos = json.find(key, pos + 1)) {
+      ++hits;
+    }
+    // args sub-objects don't carry event keys, so expect one hit per event
+    // object at minimum (metadata + emitted events), never more than objects.
+    EXPECT_GE(hits, 5u) << key;  // 2 thread_name metadata + 3 events
+    EXPECT_LE(hits, objects) << key;
+  }
+  // Balanced brackets/braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Spans, instants, metadata and the arg payload all present.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"suspects\":2"), std::string::npos);
+  // Virtual ns exported as microseconds: 1000ns -> 1.000us.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(Trace, ChromeExportMergesRingsInTimeOrder) {
+  TraceRing r0(8);
+  TraceRing r1(8);
+  r0.Instant("a", 100);
+  r0.Instant("b", 5000);
+  r1.Instant("c", 200);
+  r1.Instant("d", 4000);
+
+  std::string json;
+  AppendChromeTrace(&json, {&r0, &r1});
+
+  // Non-metadata events appear sorted by ts across rings.
+  std::vector<size_t> positions;
+  for (const char* name : {"\"a\"", "\"c\"", "\"d\"", "\"b\""}) {
+    const size_t pos = json.find(name);
+    ASSERT_NE(pos, std::string::npos) << name;
+    positions.push_back(pos);
+  }
+  EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+  // tid distinguishes the rings.
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(Trace, EmptyRingsExportValidEmptyArrayPlusMetadata) {
+  TraceRing r0(4);
+  std::string json;
+  AppendChromeTrace(&json, {&r0});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.find_last_not_of(" \n\t")], ']');
+  // Metadata naming the (empty) rank track is still emitted.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malt

@@ -61,6 +61,25 @@ void EmitCsv(const std::string& path, const malt::Series& series, const char* x_
   std::printf("wrote %zu curve points to %s\n", series.size(), path.c_str());
 }
 
+// Post-run telemetry exports: per-rank + aggregate metrics JSON, and the
+// cluster trace in Chrome trace_event format (load in chrome://tracing or
+// https://ui.perfetto.dev).
+void EmitTelemetry(malt::Malt& malt, const std::string& metrics_out,
+                   const std::string& trace_out) {
+  if (!metrics_out.empty()) {
+    const malt::Status status = malt.telemetry().WriteMetricsJson(metrics_out);
+    MALT_CHECK(status.ok()) << status.ToString();
+    std::printf("wrote metrics report to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const malt::Status status = malt.telemetry().WriteChromeTrace(trace_out);
+    MALT_CHECK(status.ok()) << status.ToString();
+    const int64_t dropped = malt.telemetry().TraceDropped();
+    std::printf("wrote Chrome trace to %s%s\n", trace_out.c_str(),
+                dropped > 0 ? " (ring wrapped; oldest events dropped)" : "");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,9 +107,16 @@ int main(int argc, char** argv) {
   const std::string train_file = flags.GetString("train", "", "LIBSVM train file (svm)");
   const std::string test_file = flags.GetString("test", "", "LIBSVM test file (svm)");
   const std::string csv = flags.GetString("csv", "", "write the metric curve to this CSV");
+  const std::string metrics_out =
+      flags.GetString("metrics_out", "", "write the runtime metrics report (JSON) here");
+  const std::string trace_out =
+      flags.GetString("trace_out", "", "write a Chrome trace_event JSON here");
+  const int trace_capacity = static_cast<int>(
+      flags.GetInt("trace_capacity", 16384, "retained trace events per rank"));
   const double kill_at = flags.GetDouble("kill_at", -1.0, "kill a rank at this virtual time");
   const int kill_rank = static_cast<int>(flags.GetInt("kill_rank", -1, "which rank to kill"));
   flags.Finish();
+  options.telemetry.trace_capacity = static_cast<size_t>(trace_capacity);
 
   if (app == "svm") {
     malt::SparseDataset data;
@@ -124,6 +150,7 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       EmitCsv(csv, r.loss_vs_time, "virtual_seconds", "test_hinge_loss");
     }
+    EmitTelemetry(malt, metrics_out, trace_out);
     return 0;
   }
 
@@ -133,7 +160,8 @@ int main(int argc, char** argv) {
     config.data = &data;
     config.epochs = epochs;
     config.cb_size = cb > 5000 ? 1000 : cb;
-    const malt::MfRunResult r = malt::RunMf(options, config);
+    malt::Malt malt(options);
+    const malt::MfRunResult r = malt::RunDistributedMf(malt, config);
     std::printf("mf %s: ranks=%d sync=%s\n", data.name.c_str(), options.ranks,
                 malt::ToString(options.sync).c_str());
     std::printf("final: rmse=%.4f virtual=%.4fs (%.4fs/epoch) network=%.1fMB\n", r.final_rmse,
@@ -142,6 +170,7 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       EmitCsv(csv, r.rmse_vs_time, "virtual_seconds", "test_rmse");
     }
+    EmitTelemetry(malt, metrics_out, trace_out);
     return 0;
   }
 
@@ -155,7 +184,8 @@ int main(int argc, char** argv) {
     config.cb_size = cb > 5000 ? 500 : cb;
     config.mlp.hidden1 = 32;
     config.mlp.hidden2 = 16;
-    const malt::NnRunResult r = malt::RunNn(options, config);
+    malt::Malt malt(options);
+    const malt::NnRunResult r = malt::RunDistributedNn(malt, config);
     std::printf("nn %s: ranks=%d sync=%s\n", data.name.c_str(), options.ranks,
                 malt::ToString(options.sync).c_str());
     std::printf("final: auc=%.4f logloss=%.4f virtual=%.4fs network=%.1fMB\n", r.final_auc,
@@ -163,6 +193,7 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       EmitCsv(csv, r.auc_vs_time, "virtual_seconds", "test_auc");
     }
+    EmitTelemetry(malt, metrics_out, trace_out);
     return 0;
   }
 
