@@ -13,6 +13,7 @@
 #define SRC_BASE_SEQLOCK_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 
@@ -23,9 +24,25 @@ class SeqLock {
   SeqLock() : seq_(0) {}
 
   // Writer protocol. Writes are already serialized per slot by the per-sender
-  // queue design, so no writer-writer exclusion is needed.
-  void WriteBegin() { seq_.store(seq_.load(std::memory_order_relaxed) + 1, std::memory_order_release); }
-  void WriteEnd() { seq_.store(seq_.load(std::memory_order_relaxed) + 1, std::memory_order_release); }
+  // queue design, so no writer-writer exclusion is needed — but the two
+  // increments are single atomic RMWs (not load+store pairs), so the even/odd
+  // discipline holds even if a second writer is ever introduced.
+  //
+  // WriteBegin makes the sequence odd before any payload bytes are touched;
+  // the release fence orders the odd store before the payload writes for
+  // acquire-side readers. WriteEnd publishes payload + even sequence with one
+  // release RMW.
+  void WriteBegin() {
+    const uint64_t prev = seq_.fetch_add(1, std::memory_order_relaxed);
+    assert((prev & 1) == 0 && "WriteBegin while a write is in progress");
+    (void)prev;
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void WriteEnd() {
+    const uint64_t prev = seq_.fetch_add(1, std::memory_order_release);
+    assert((prev & 1) == 1 && "WriteEnd without a matching WriteBegin");
+    (void)prev;
+  }
 
   // Reader protocol.
   uint64_t ReadBegin() const {
@@ -36,9 +53,12 @@ class SeqLock {
     return seq;
   }
 
+  // An explicit acquire load: it pairs with the writer's release operations
+  // directly, so the validation needs no separate fence and the load itself
+  // is the synchronization point (simpler to reason about, and what the
+  // protocol checker's SeqLockDiscipline asserts).
   bool ReadValidate(uint64_t begin_seq) const {
-    std::atomic_thread_fence(std::memory_order_acquire);
-    return seq_.load(std::memory_order_relaxed) == begin_seq;
+    return seq_.load(std::memory_order_acquire) == begin_seq;
   }
 
   // True if a write is currently in progress (odd sequence).

@@ -1,0 +1,553 @@
+#include "src/check/check.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "src/base/hash.h"
+#include "src/base/log.h"
+#include "src/telemetry/metrics.h"
+
+namespace malt {
+
+namespace {
+
+uint64_t LoadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t LoadU32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t HashBytes(std::span<const std::byte> bytes) {
+  Fnv1a h;
+  h.Mix(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+}  // namespace
+
+Result<CheckLevel> ParseCheckLevel(const std::string& s) {
+  if (s == "off") {
+    return CheckLevel::kOff;
+  }
+  if (s == "cheap") {
+    return CheckLevel::kCheap;
+  }
+  if (s == "full") {
+    return CheckLevel::kFull;
+  }
+  return InvalidArgumentError("unknown check level '" + s + "' (off|cheap|full)");
+}
+
+std::string ToString(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kOff:
+      return "off";
+    case CheckLevel::kCheap:
+      return "cheap";
+    case CheckLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+ProtocolChecker::ProtocolChecker(CheckLevel level, int world)
+    : level_(level),
+      world_(world),
+      shadows_(static_cast<size_t>(world)),
+      entered_round_(static_cast<size_t>(world), 0),
+      exited_round_(static_cast<size_t>(world), 0),
+      finished_(static_cast<size_t>(world), false),
+      vclock_(static_cast<size_t>(world), std::vector<uint64_t>(static_cast<size_t>(world), 0)) {
+  MALT_CHECK(world >= 1) << "checker needs at least one rank";
+}
+
+void ProtocolChecker::BindTelemetry(TelemetryDomain* telemetry) {
+  MALT_CHECK(telemetry == nullptr || telemetry->ranks() >= world_)
+      << "telemetry domain smaller than checker world";
+  telemetry_ = telemetry;
+}
+
+void ProtocolChecker::ReportViolation(const char* kind, int rank, SimTime now,
+                                      std::string detail) {
+  ++violation_count_;
+  ++by_kind_[kind];
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back(Violation{kind, rank, now, detail});
+  }
+  MALT_LOG_S(kWarning) << "check: " << kind << " on rank " << rank << " at t=" << now << "ns: "
+                       << detail;
+  if (telemetry_ != nullptr && rank >= 0 && rank < telemetry_->ranks()) {
+    RankTelemetry& rt = telemetry_->rank(rank);
+    rt.metrics.GetCounter("check.violations")->Add(1);
+    rt.metrics.GetCounter(std::string("check.violations.") + kind)->Add(1);
+    if (level_ == CheckLevel::kFull) {
+      rt.trace.Instant(kind, now);
+    }
+  }
+}
+
+ProtocolChecker::ShadowSegment* ProtocolChecker::FindSegment(int node, uint32_t rkey) {
+  if (node < 0 || node >= world_) {
+    return nullptr;
+  }
+  auto& per_node = shadows_[static_cast<size_t>(node)];
+  if (rkey >= per_node.size()) {
+    return nullptr;
+  }
+  return per_node[rkey].get();
+}
+
+ProtocolChecker::ShadowSegment* ProtocolChecker::FindSegmentById(int node, int segment) {
+  if (node < 0 || node >= world_) {
+    return nullptr;
+  }
+  for (auto& shadow : shadows_[static_cast<size_t>(node)]) {
+    if (shadow != nullptr && shadow->segment == segment) {
+      return shadow.get();
+    }
+  }
+  return nullptr;
+}
+
+void ProtocolChecker::OnSegmentCreate(int node, uint32_t rkey, int segment,
+                                      SegmentLayout layout) {
+  if (!enabled()) {
+    return;
+  }
+  MALT_CHECK(node >= 0 && node < world_) << "bad node " << node;
+  MALT_CHECK(layout.slot_stride > 0 && layout.queue_depth > 0) << "degenerate segment layout";
+  auto& per_node = shadows_[static_cast<size_t>(node)];
+  if (per_node.size() <= rkey) {
+    per_node.resize(static_cast<size_t>(rkey) + 1);
+  }
+  auto shadow = std::make_unique<ShadowSegment>();
+  shadow->segment = segment;
+  shadow->queues.resize(layout.senders.size());
+  shadow->slots.resize(layout.senders.size() * static_cast<size_t>(layout.queue_depth));
+  shadow->layout = std::move(layout);
+  per_node[rkey] = std::move(shadow);
+}
+
+void ProtocolChecker::CommitWrite(ShadowSegment& seg, size_t queue, size_t slot, uint64_t seq,
+                                  uint32_t iter, uint32_t bytes, uint64_t hash) {
+  ShadowSlot& s = seg.slots[queue * static_cast<size_t>(seg.layout.queue_depth) + slot];
+  s.committed_seq = seq;
+  s.committed_iter = iter;
+  s.committed_bytes = bytes;
+  s.committed_hash = hash;
+  s.mid_write = false;
+  seg.queues[queue].newest_applied_iter =
+      std::max(seg.queues[queue].newest_applied_iter, static_cast<int64_t>(iter));
+}
+
+void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t offset,
+                                         std::span<const std::byte> wire, ApplyPhase phase,
+                                         SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  ShadowSegment* seg = FindSegment(dst, rkey);
+  if (seg == nullptr) {
+    return;  // barrier counters, probe scratch, accumulators: not slot-structured
+  }
+  ++events_checked_;
+
+  const size_t stride = seg->layout.slot_stride;
+  const size_t depth = static_cast<size_t>(seg->layout.queue_depth);
+  const size_t queue = offset / (stride * depth);
+  const size_t slot = (offset % (stride * depth)) / stride;
+
+  if (offset % stride != 0 || queue >= seg->queues.size()) {
+    ReportViolation(check::kSlotMisaligned, dst, now,
+                    "write from rank " + std::to_string(src) + " at offset " +
+                        std::to_string(offset) + " is not on a slot boundary");
+    if (queue < seg->queues.size()) {
+      seg->slots[queue * depth + slot].poisoned = true;
+    }
+    return;
+  }
+  ShadowSlot& shadow = seg->slots[queue * depth + slot];
+  ShadowQueue& q = seg->queues[queue];
+
+  // Header sanity: the wire image must be a complete slot write.
+  if (wire.size() < check::kPayloadOff + sizeof(uint64_t) || wire.size() > stride) {
+    ReportViolation(check::kHeaderCorrupt, dst, now,
+                    "write of " + std::to_string(wire.size()) + " bytes from rank " +
+                        std::to_string(src) + " is not a slot image (stride " +
+                        std::to_string(stride) + ")");
+    shadow.poisoned = true;
+    return;
+  }
+  const uint64_t seq_front = LoadU64(wire.data() + check::kSeqFrontOff);
+  const uint32_t iter = LoadU32(wire.data() + check::kIterOff);
+  const uint32_t bytes = LoadU32(wire.data() + check::kBytesOff);
+  if (bytes > seg->layout.obj_bytes ||
+      wire.size() != check::kPayloadOff + bytes + sizeof(uint64_t)) {
+    ReportViolation(check::kHeaderCorrupt, dst, now,
+                    "byte count " + std::to_string(bytes) + " inconsistent with wire size " +
+                        std::to_string(wire.size()) + " from rank " + std::to_string(src));
+    shadow.poisoned = true;
+    return;
+  }
+  const uint64_t seq_back = LoadU64(wire.data() + check::kPayloadOff + bytes);
+
+  // Seqlock protocol: a well-formed write carries equal nonzero stamps — a
+  // writer that skipped WriteEnd (or never stamped) posts a torn image.
+  if (seq_front == 0 || seq_front != seq_back) {
+    ReportViolation(check::kSeqlockProtocol, dst, now,
+                    "rank " + std::to_string(src) + " posted stamps front=" +
+                        std::to_string(seq_front) + " back=" + std::to_string(seq_back) +
+                        " (missing WriteEnd)");
+    // The slot content is torn from now on; a reader consuming it escapes.
+    shadow.mid_write = true;
+    shadow.pending_seq = seq_front;
+    return;
+  }
+
+  // Sender identity: queue q of this region belongs to senders[q] alone.
+  if (src != seg->layout.senders[queue]) {
+    ReportViolation(check::kWrongQueue, dst, now,
+                    "rank " + std::to_string(src) + " wrote into the queue of sender " +
+                        std::to_string(seg->layout.senders[queue]));
+    shadow.poisoned = true;
+    return;
+  }
+
+  if (phase != ApplyPhase::kSecondHalf) {
+    // Per-queue write discipline: stamps increase by one per post and slots
+    // round-robin in stamp order, so (seq - 1) % depth names the slot.
+    if (q.last_posted_seq != 0 && seq_front != q.last_posted_seq + 1) {
+      ReportViolation(check::kSeqDiscipline, dst, now,
+                      "rank " + std::to_string(src) + " posted seq " +
+                          std::to_string(seq_front) + " after " +
+                          std::to_string(q.last_posted_seq));
+    }
+    if ((seq_front - 1) % depth != slot) {
+      ReportViolation(check::kSeqDiscipline, dst, now,
+                      "seq " + std::to_string(seq_front) + " landed in slot " +
+                          std::to_string(slot) + ", round-robin expects " +
+                          std::to_string((seq_front - 1) % depth));
+    }
+    if (iter < q.last_posted_iter) {
+      ReportViolation(check::kIterRegression, dst, now,
+                      "rank " + std::to_string(src) + " posted iter " + std::to_string(iter) +
+                          " after " + std::to_string(q.last_posted_iter));
+    }
+    q.last_posted_seq = std::max(q.last_posted_seq, seq_front);
+    q.last_posted_iter = std::max(q.last_posted_iter, iter);
+  }
+
+  const uint64_t hash =
+      level_ == CheckLevel::kFull
+          ? HashBytes(wire.subspan(check::kPayloadOff, bytes))
+          : 0;
+
+  switch (phase) {
+    case ApplyPhase::kFull:
+      CommitWrite(*seg, queue, slot, seq_front, iter, bytes, hash);
+      shadow.pending_seq = seq_front;
+      break;
+    case ApplyPhase::kFirstHalf:
+      shadow.mid_write = true;
+      shadow.pending_seq = seq_front;
+      break;
+    case ApplyPhase::kSecondHalf:
+      // Only the newest begun write's completion makes the slot consistent;
+      // a straggling second half of an older write leaves (or makes) it torn.
+      if (shadow.pending_seq == seq_front) {
+        CommitWrite(*seg, queue, slot, seq_front, iter, bytes, hash);
+      } else {
+        shadow.mid_write = true;
+      }
+      break;
+  }
+}
+
+void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int slot,
+                                 uint64_t seq_front, uint64_t seq_back, uint32_t iter,
+                                 std::span<const std::byte> payload, ReadAction action,
+                                 SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  ShadowSegment* seg = FindSegment(reader, rkey);
+  if (seg == nullptr) {
+    return;
+  }
+  ++events_checked_;
+  const size_t depth = static_cast<size_t>(seg->layout.queue_depth);
+  const size_t queue = static_cast<size_t>(queue_pos);
+  MALT_CHECK(queue < seg->queues.size() && static_cast<size_t>(slot) < depth)
+      << "slot read outside segment geometry";
+  ShadowSlot& shadow = seg->slots[queue * depth + static_cast<size_t>(slot)];
+  ShadowQueue& q = seg->queues[queue];
+  const int sender = seg->layout.senders[queue];
+
+  switch (action) {
+    case ReadAction::kConsumed: {
+      if (seq_front != seq_back) {
+        ReportViolation(check::kSeqlockProtocol, reader, now,
+                        "reader consumed slot " + std::to_string(slot) + " from rank " +
+                            std::to_string(sender) + " despite stamps front=" +
+                            std::to_string(seq_front) + " back=" + std::to_string(seq_back));
+      }
+      if (shadow.poisoned || shadow.mid_write) {
+        ReportViolation(check::kTornReadEscape, reader, now,
+                        "consumed seq " + std::to_string(seq_front) + " from rank " +
+                            std::to_string(sender) + " while the slot was " +
+                            (shadow.poisoned ? "poisoned" : "mid-write"));
+      } else if (seq_front != shadow.committed_seq) {
+        ReportViolation(check::kPhantomRead, reader, now,
+                        "consumed seq " + std::to_string(seq_front) + " from rank " +
+                            std::to_string(sender) + " but the ledger holds seq " +
+                            std::to_string(shadow.committed_seq));
+      } else if (level_ == CheckLevel::kFull) {
+        if (payload.size() != shadow.committed_bytes ||
+            HashBytes(payload) != shadow.committed_hash) {
+          ReportViolation(check::kTornReadEscape, reader, now,
+                          "payload of seq " + std::to_string(seq_front) + " from rank " +
+                              std::to_string(sender) +
+                              " does not match the committed write (torn bytes escaped the "
+                              "stamps)");
+        }
+      }
+      if (seq_front <= q.last_consumed_seq) {
+        ReportViolation(check::kDuplicateConsume, reader, now,
+                        "seq " + std::to_string(seq_front) + " from rank " +
+                            std::to_string(sender) + " consumed again (last consumed " +
+                            std::to_string(q.last_consumed_seq) + ")");
+      }
+      if (static_cast<int64_t>(iter) < q.last_consumed_iter) {
+        ReportViolation(check::kIterRegression, reader, now,
+                        "consumed iter " + std::to_string(iter) + " from rank " +
+                            std::to_string(sender) + " after iter " +
+                            std::to_string(q.last_consumed_iter));
+      }
+      q.last_consumed_seq = std::max(q.last_consumed_seq, seq_front);
+      q.last_consumed_iter = std::max(q.last_consumed_iter, static_cast<int64_t>(iter));
+      break;
+    }
+    case ReadAction::kSkippedTorn: {
+      if (!shadow.mid_write && !shadow.poisoned && shadow.committed_seq != 0) {
+        ReportViolation(check::kSpuriousTornSkip, reader, now,
+                        "reader observed torn stamps front=" + std::to_string(seq_front) +
+                            " back=" + std::to_string(seq_back) + " but the ledger says seq " +
+                            std::to_string(shadow.committed_seq) + " is committed");
+      }
+      break;
+    }
+    case ReadAction::kSkippedStale: {
+      if (seq_front > q.last_consumed_seq) {
+        ReportViolation(check::kSeqDiscipline, reader, now,
+                        "fresh seq " + std::to_string(seq_front) + " from rank " +
+                            std::to_string(sender) + " skipped as stale (last consumed " +
+                            std::to_string(q.last_consumed_seq) + ")");
+      }
+      break;
+    }
+  }
+}
+
+void ProtocolChecker::OnBarrierEnter(int rank, uint64_t round, SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  ++events_checked_;
+  const size_t r = static_cast<size_t>(rank);
+  if (round < entered_round_[r]) {
+    ReportViolation(check::kBarrierRegression, rank, now,
+                    "entered round " + std::to_string(round) + " after round " +
+                        std::to_string(entered_round_[r]));
+    return;
+  }
+  entered_round_[r] = round;
+  vclock_[r][r] = std::max(vclock_[r][r], round);
+}
+
+void ProtocolChecker::OnBarrierExit(int rank, uint64_t round, std::span<const int> members,
+                                    SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  ++events_checked_;
+  const size_t r = static_cast<size_t>(rank);
+  for (int member : members) {
+    if (member == rank || finished_[static_cast<size_t>(member)]) {
+      continue;
+    }
+    const size_t m = static_cast<size_t>(member);
+    if (entered_round_[m] < round) {
+      ReportViolation(check::kBarrierSeparation, rank, now,
+                      "exited round " + std::to_string(round) + " but member " +
+                          std::to_string(member) + " has only entered round " +
+                          std::to_string(entered_round_[m]));
+      continue;
+    }
+    // Barrier synchronization: join the member's knowledge into ours.
+    for (size_t k = 0; k < vclock_[r].size(); ++k) {
+      vclock_[r][k] = std::max(vclock_[r][k], vclock_[m][k]);
+    }
+  }
+  exited_round_[r] = std::max(exited_round_[r], round);
+}
+
+void ProtocolChecker::OnRankFinished(int rank) {
+  if (!enabled()) {
+    return;
+  }
+  finished_[static_cast<size_t>(rank)] = true;
+}
+
+void ProtocolChecker::OnVolScatter(int rank, int segment, uint32_t iter, SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  ++events_checked_;
+  auto [it, inserted] = vol_stamp_.try_emplace({rank, segment}, iter);
+  if (!inserted) {
+    if (iter < it->second) {
+      ReportViolation(check::kIterRegression, rank, now,
+                      "vector on segment " + std::to_string(segment) + " scattered iter " +
+                          std::to_string(iter) + " after iter " + std::to_string(it->second));
+    }
+    it->second = std::max(it->second, iter);
+  }
+}
+
+void ProtocolChecker::OnSspProceed(int rank, int segment, uint32_t iter,
+                                   std::span<const int> live_senders, SimTime now) {
+  if (!enabled() || ssp_bound_ < 0) {
+    return;
+  }
+  ShadowSegment* seg = FindSegmentById(rank, segment);
+  if (seg == nullptr) {
+    return;
+  }
+  ++events_checked_;
+  // The slowest live in-neighbor, from the ledger's fully-applied stamps (an
+  // independent path from the region reads the SSP gate itself used).
+  int64_t min_peer = -2;  // -2: no live in-neighbor (gate vacuously open)
+  for (int sender : live_senders) {
+    for (size_t queue = 0; queue < seg->layout.senders.size(); ++queue) {
+      if (seg->layout.senders[queue] == sender) {
+        const int64_t newest = seg->queues[queue].newest_applied_iter;
+        min_peer = min_peer == -2 ? newest : std::min(min_peer, newest);
+        break;
+      }
+    }
+  }
+  if (min_peer != -2 && static_cast<int64_t>(iter) - ssp_bound_ > min_peer) {
+    ReportViolation(check::kSspStaleness, rank, now,
+                    "proceeded at iter " + std::to_string(iter) +
+                        " with slowest live in-neighbor at iter " + std::to_string(min_peer) +
+                        " (bound " + std::to_string(ssp_bound_) + ")");
+  }
+}
+
+const std::vector<uint64_t>& ProtocolChecker::VectorClock(int rank) const {
+  return vclock_[static_cast<size_t>(rank)];
+}
+
+int64_t ProtocolChecker::CountFor(const std::string& kind) const {
+  const auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? 0 : it->second;
+}
+
+std::string ProtocolChecker::ReportJson() const {
+  std::string out;
+  out += "{\"level\":";
+  AppendJsonEscaped(&out, ToString(level_));
+  out += ",\"events\":";
+  AppendJsonNumber(&out, static_cast<double>(events_checked_));
+  out += ",\"violations\":";
+  AppendJsonNumber(&out, static_cast<double>(violation_count_));
+  out += ",\"by_kind\":{";
+  bool first = true;
+  for (const auto& [kind, count] : by_kind_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonEscaped(&out, kind);
+    out += ':';
+    AppendJsonNumber(&out, static_cast<double>(count));
+  }
+  out += "},\"samples\":[";
+  for (size_t i = 0; i < violations_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    const Violation& v = violations_[i];
+    out += "{\"kind\":";
+    AppendJsonEscaped(&out, v.kind);
+    out += ",\"rank\":";
+    AppendJsonNumber(&out, static_cast<double>(v.rank));
+    out += ",\"time_ns\":";
+    AppendJsonNumber(&out, static_cast<double>(v.time));
+    out += ",\"detail\":";
+    AppendJsonEscaped(&out, v.detail);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status ProtocolChecker::WriteReportJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  out << ReportJson() << '\n';
+  return out.good() ? OkStatus() : InternalError("write to " + path + " failed");
+}
+
+// --- SeqLockDiscipline --------------------------------------------------------
+
+void SeqLockDiscipline::OnWriteBegin(uint64_t seq_after, SimTime now) {
+  if ((seq_ & 1) != 0 || seq_after != seq_ + 1) {
+    checker_->ReportViolation(check::kSeqlockProtocol, rank_, now,
+                              "WriteBegin took sequence " + std::to_string(seq_) + " -> " +
+                                  std::to_string(seq_after) +
+                                  " (expected even -> odd, +1)");
+  }
+  seq_ = seq_after;
+}
+
+void SeqLockDiscipline::OnWriteEnd(uint64_t seq_after, SimTime now) {
+  if ((seq_ & 1) != 1 || seq_after != seq_ + 1) {
+    checker_->ReportViolation(check::kSeqlockProtocol, rank_, now,
+                              "WriteEnd took sequence " + std::to_string(seq_) + " -> " +
+                                  std::to_string(seq_after) +
+                                  " (expected odd -> even, +1)");
+  }
+  seq_ = seq_after;
+}
+
+void SeqLockDiscipline::OnReadValidate(uint64_t begin_seq, uint64_t end_seq, bool accepted,
+                                       SimTime now) {
+  if (!accepted) {
+    return;  // conservative rejects are always allowed
+  }
+  if ((begin_seq & 1) != 0) {
+    checker_->ReportViolation(check::kSeqlockProtocol, rank_, now,
+                              "read validated against odd sequence " +
+                                  std::to_string(begin_seq) + " (write in progress)");
+  } else if (begin_seq != end_seq) {
+    checker_->ReportViolation(check::kSeqlockProtocol, rank_, now,
+                              "read accepted with begin=" + std::to_string(begin_seq) +
+                                  " end=" + std::to_string(end_seq));
+  } else if (begin_seq != seq_) {
+    checker_->ReportViolation(check::kSeqlockProtocol, rank_, now,
+                              "read accepted sequence " + std::to_string(begin_seq) +
+                                  " but the lock is at " + std::to_string(seq_));
+  }
+}
+
+}  // namespace malt

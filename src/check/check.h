@@ -1,0 +1,262 @@
+// Protocol checker — a happens-before / torn-write validator for the dstorm
+// one-sided memory protocol (DESIGN.md §9).
+//
+// The simulator serializes all rank execution, so the checker can shadow the
+// entire cluster deterministically: every one-sided write the fabric applies
+// and every gather read dstorm performs is mirrored into a per-slot ledger,
+// and the reader's decisions (consume / skip-torn / skip-stale) are validated
+// against what the ledger says the slot actually contained at that instant.
+// A second component tracks barrier rounds with per-rank vector clocks and
+// certifies barrier separation (no rank exits round R before every live
+// group member entered R) plus the SSP staleness bound.
+//
+// The checker restates the dstorm slot wire format independently (constants
+// below) on purpose: if the protocol and the checker ever disagree, every
+// checked run reports it immediately.
+//
+// Levels (MaltOptions::check / malt_run --check):
+//   off   — every hook early-returns; the shadow state is never touched.
+//   cheap — ledger + barrier + staleness checks (integer compares only).
+//   full  — cheap plus payload hashing (byte-exact torn-read escapes) and a
+//           trace instant per violation on the observing rank's ring.
+//
+// Violations are recorded (capped sample list + per-kind counts), counted in
+// the observing rank's telemetry registry as `check.violations.<kind>`, and
+// exportable as a machine-readable JSON report (ReportJson).
+
+#ifndef SRC_CHECK_CHECK_H_
+#define SRC_CHECK_CHECK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/telemetry/telemetry.h"
+
+namespace malt {
+
+enum class CheckLevel : uint8_t {
+  kOff = 0,
+  kCheap = 1,
+  kFull = 2,
+};
+
+Result<CheckLevel> ParseCheckLevel(const std::string& s);
+std::string ToString(CheckLevel level);
+
+namespace check {
+
+// dstorm slot wire format, restated from src/dstorm/dstorm.cc:
+//   u64 seq_front | u32 iter | u32 bytes | payload[bytes] | u64 seq_back
+inline constexpr size_t kSeqFrontOff = 0;
+inline constexpr size_t kIterOff = 8;
+inline constexpr size_t kBytesOff = 12;
+inline constexpr size_t kPayloadOff = 16;
+
+// Violation kinds. Static strings: they double as trace-event names and as
+// the suffix of the `check.violations.<kind>` telemetry counter.
+inline constexpr const char* kTornReadEscape = "torn_read_escape";
+inline constexpr const char* kSeqlockProtocol = "seqlock_protocol";
+inline constexpr const char* kSeqDiscipline = "seq_discipline";
+inline constexpr const char* kWrongQueue = "wrong_queue";
+inline constexpr const char* kSlotMisaligned = "slot_misaligned";
+inline constexpr const char* kHeaderCorrupt = "header_corrupt";
+inline constexpr const char* kIterRegression = "iter_regression";
+inline constexpr const char* kDuplicateConsume = "duplicate_consume";
+inline constexpr const char* kPhantomRead = "phantom_read";
+inline constexpr const char* kSpuriousTornSkip = "spurious_torn_skip";
+inline constexpr const char* kBarrierSeparation = "barrier_separation";
+inline constexpr const char* kBarrierRegression = "barrier_round_regression";
+inline constexpr const char* kSspStaleness = "ssp_staleness";
+
+}  // namespace check
+
+struct Violation {
+  const char* kind = "";
+  int rank = -1;      // rank on which the violation was observed
+  SimTime time = 0;   // virtual time of the observing event
+  std::string detail;
+};
+
+class ProtocolChecker {
+ public:
+  // Geometry of one dstorm segment's receive region on one node, as the
+  // checker needs it to map a raw (offset, length) write onto (queue, slot).
+  struct SegmentLayout {
+    size_t slot_stride = 0;    // header + payload capacity + trailer, aligned
+    size_t obj_bytes = 0;      // payload capacity
+    int queue_depth = 0;       // slots per sender
+    std::vector<int> senders;  // in-edge list; queue q belongs to senders[q]
+  };
+
+  // How the fabric applied a remote write to the destination region.
+  enum class ApplyPhase : uint8_t {
+    kFull = 0,        // whole payload landed in one event
+    kFirstHalf = 1,   // torn-write simulation: first half only
+    kSecondHalf = 2,  // the matching completion of a kFirstHalf
+  };
+
+  // What the reader decided about one receive slot during a gather.
+  enum class ReadAction : uint8_t {
+    kConsumed = 0,     // folded into the local model
+    kSkippedTorn = 1,  // seq_front != seq_back observed
+    kSkippedStale = 2, // already consumed earlier
+  };
+
+  ProtocolChecker(CheckLevel level, int world);
+
+  // Routes violation counters (and, at full level, trace instants) into the
+  // observing rank's registry. Optional; safe to skip in standalone stacks.
+  void BindTelemetry(TelemetryDomain* telemetry);
+
+  CheckLevel level() const { return level_; }
+  bool enabled() const { return level_ != CheckLevel::kOff; }
+  int world() const { return world_; }
+
+  // SSP bound advertised by the runtime (MaltOptions::staleness).
+  void SetStalenessBound(int64_t bound) { ssp_bound_ = bound; }
+  int64_t staleness_bound() const { return ssp_bound_; }
+
+  // --- layout registration (dstorm CreateSegment) ---------------------------
+
+  void OnSegmentCreate(int node, uint32_t rkey, int segment, SegmentLayout layout);
+
+  // --- fabric-side events (one-sided write applied to a region) -------------
+
+  // `wire` is the full posted image (the fabric snapshots payloads at post
+  // time, so it is available even for split applies). Unregistered regions
+  // (barrier counters, probe scratch, accumulators) are ignored.
+  void OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t offset,
+                          std::span<const std::byte> wire, ApplyPhase phase, SimTime now);
+
+  // --- dstorm reader-side events (gather) -----------------------------------
+
+  // `payload` is what the reader is about to hand to the application; only
+  // needed for kConsumed (used for byte-exact validation at full level).
+  void OnSlotRead(int reader, uint32_t rkey, int queue_pos, int slot, uint64_t seq_front,
+                  uint64_t seq_back, uint32_t iter, std::span<const std::byte> payload,
+                  ReadAction action, SimTime now);
+
+  // --- barrier / iteration tracking -----------------------------------------
+
+  void OnBarrierEnter(int rank, uint64_t round, SimTime now);
+  // `members` is the rank's current view of the live group.
+  void OnBarrierExit(int rank, uint64_t round, std::span<const int> members, SimTime now);
+  // The rank returned from its worker body (its barrier counter is infinity).
+  void OnRankFinished(int rank);
+
+  // VOL scatter stamp: outgoing iteration stamps must not regress per vector.
+  void OnVolScatter(int rank, int segment, uint32_t iter, SimTime now);
+
+  // SSP gate release: `rank` proceeds at `iter`; the checker recomputes the
+  // slowest live in-neighbor from its own shadow (newest fully-applied stamp
+  // per queue) and flags iter - min_peer > staleness_bound().
+  void OnSspProceed(int rank, int segment, uint32_t iter, std::span<const int> live_senders,
+                    SimTime now);
+
+  // Vector clock of `rank` over barrier rounds: entry m is the newest round
+  // `rank` knows m to have entered (via barrier joins).
+  const std::vector<uint64_t>& VectorClock(int rank) const;
+
+  // Manual report (used by auxiliary validators and fault-injection tests).
+  void ReportViolation(const char* kind, int rank, SimTime now, std::string detail);
+
+  // --- results ---------------------------------------------------------------
+
+  int64_t events_checked() const { return events_checked_; }
+  int64_t violation_count() const { return violation_count_; }
+  int64_t CountFor(const std::string& kind) const;
+  // Capped sample of violations (first kMaxStoredViolations).
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  // {"level":...,"events":N,"violations":N,"by_kind":{...},"samples":[...]}
+  std::string ReportJson() const;
+  Status WriteReportJson(const std::string& path) const;
+
+ private:
+  struct ShadowSlot {
+    uint64_t committed_seq = 0;   // last fully applied write
+    uint32_t committed_iter = 0;
+    uint32_t committed_bytes = 0;
+    uint64_t committed_hash = 0;  // payload hash (full level only)
+    bool mid_write = false;       // first half applied, second pending
+    bool poisoned = false;        // a protocol-violating write landed here
+    uint64_t pending_seq = 0;
+  };
+
+  struct ShadowQueue {
+    uint64_t last_posted_seq = 0;
+    uint32_t last_posted_iter = 0;
+    uint64_t last_consumed_seq = 0;
+    int64_t last_consumed_iter = -1;
+    int64_t newest_applied_iter = -1;  // newest fully-applied stamp
+  };
+
+  struct ShadowSegment {
+    SegmentLayout layout;
+    int segment = -1;
+    std::vector<ShadowSlot> slots;    // [queue * depth + slot]
+    std::vector<ShadowQueue> queues;  // [queue]
+  };
+
+  static constexpr size_t kMaxStoredViolations = 128;
+
+  ShadowSegment* FindSegment(int node, uint32_t rkey);
+  ShadowSegment* FindSegmentById(int node, int segment);
+  void CommitWrite(ShadowSegment& seg, size_t queue, size_t slot, uint64_t seq, uint32_t iter,
+                   uint32_t bytes, uint64_t hash);
+
+  CheckLevel level_;
+  int world_;
+  int64_t ssp_bound_ = -1;  // <0: no bound advertised
+  TelemetryDomain* telemetry_ = nullptr;
+
+  // [node][rkey] -> shadow (null for unregistered rkeys).
+  std::vector<std::vector<std::unique_ptr<ShadowSegment>>> shadows_;
+
+  // Barrier tracking.
+  std::vector<uint64_t> entered_round_;
+  std::vector<uint64_t> exited_round_;
+  std::vector<bool> finished_;
+  std::vector<std::vector<uint64_t>> vclock_;  // [rank][rank]
+
+  // VOL scatter stamps: (rank, segment) -> last outgoing stamp.
+  std::map<std::pair<int, int>, uint32_t> vol_stamp_;
+
+  int64_t events_checked_ = 0;
+  int64_t violation_count_ = 0;
+  std::map<std::string, int64_t> by_kind_;
+  std::vector<Violation> violations_;
+};
+
+// Validates the call discipline of one SeqLock (src/base/seqlock.h) from an
+// event stream: WriteBegin must take the sequence even->odd, WriteEnd
+// odd->even, and a read may only validate against an even begin sequence that
+// is still current at validate time. Violations are reported into the
+// ProtocolChecker as `seqlock_protocol`.
+class SeqLockDiscipline {
+ public:
+  SeqLockDiscipline(ProtocolChecker* checker, int rank) : checker_(checker), rank_(rank) {}
+
+  void OnWriteBegin(uint64_t seq_after, SimTime now);
+  void OnWriteEnd(uint64_t seq_after, SimTime now);
+  void OnReadValidate(uint64_t begin_seq, uint64_t end_seq, bool accepted, SimTime now);
+
+  uint64_t sequence() const { return seq_; }
+
+ private:
+  ProtocolChecker* checker_;
+  int rank_;
+  uint64_t seq_ = 0;  // last sequence value the discipline has accepted
+};
+
+}  // namespace malt
+
+#endif  // SRC_CHECK_CHECK_H_

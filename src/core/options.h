@@ -9,6 +9,7 @@
 
 #include "src/base/status.h"
 #include "src/base/time_units.h"
+#include "src/check/check.h"
 #include "src/fault/monitor.h"
 #include "src/simnet/fabric.h"
 
@@ -62,6 +63,9 @@ struct MaltOptions {
   CostModel cost;
   FaultMonitorOptions fault;
   TelemetryOptions telemetry;
+  // Protocol-checker level (src/check): off by default; `cheap` shadows the
+  // dstorm slot protocol and barriers, `full` adds byte-exact payload checks.
+  CheckLevel check = CheckLevel::kOff;
 };
 
 }  // namespace malt

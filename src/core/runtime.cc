@@ -171,6 +171,18 @@ void Worker::SspWait(MaltVector& v) {
     }
   }
   c_ssp_wait_ns_->Add(proc_->now() - t0);
+
+  ProtocolChecker& checker = malt_->checker();
+  if (checker.enabled()) {
+    // Certify the gate from the checker's own shadow of applied stamps.
+    std::vector<int> live;
+    for (int sender : v.graph().InEdges(rank_)) {
+      if (dstorm_->InGroup(sender)) {
+        live.push_back(sender);
+      }
+    }
+    checker.OnSspProceed(rank_, v.segment(), v.iteration(), live, proc_->now());
+  }
 }
 
 int Worker::live_ranks() const { return static_cast<int>(dstorm_->GroupMembers().size()); }
@@ -203,11 +215,14 @@ Malt::Malt(MaltOptions options)
     : options_(options),
       engine_(),
       telemetry_(options.ranks, options.telemetry),
-      fabric_(engine_, options.ranks, options.fabric, &telemetry_),
+      checker_(options.check, options.ranks),
+      fabric_(engine_, options.ranks, options.fabric, &telemetry_, &checker_),
       domain_(engine_, fabric_, options.ranks, &telemetry_),
       dataflow_(BuildDataflow(options)),
       recorders_(static_cast<size_t>(options.ranks)) {
   MALT_CHECK(options.ranks >= 1) << "need at least one rank";
+  checker_.BindTelemetry(&telemetry_);
+  checker_.SetStalenessBound(options.staleness);
 }
 
 void Malt::ScheduleKill(int rank, double at_seconds) {

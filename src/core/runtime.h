@@ -131,6 +131,11 @@ class Malt {
   TelemetryDomain& telemetry() { return telemetry_; }
   const TelemetryDomain& telemetry() const { return telemetry_; }
 
+  // The protocol checker validating this run (level MaltOptions::check; an
+  // off-level checker still answers queries, it just never recorded events).
+  ProtocolChecker& checker() { return checker_; }
+  const ProtocolChecker& checker() const { return checker_; }
+
   // The dataflow graph selected by options (what CreateVector uses).
   const Graph& dataflow() const { return dataflow_; }
 
@@ -153,6 +158,7 @@ class Malt {
   MaltOptions options_;
   Engine engine_;
   TelemetryDomain telemetry_;
+  ProtocolChecker checker_;  // must outlive fabric_ (fabric holds a pointer)
   Fabric fabric_;
   DstormDomain domain_;
   Graph dataflow_;

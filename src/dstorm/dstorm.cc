@@ -152,6 +152,15 @@ SegmentId Dstorm::CreateSegment(const SegmentOptions& options) {
       s.next_send_seq.assign(static_cast<size_t>(world_), 0);
       s.next_send_slot.assign(static_cast<size_t>(world_), 0);
       s.last_consumed.assign(static_cast<size_t>(world_), 0);
+      ProtocolChecker& checker = fabric_->checker();
+      if (checker.enabled()) {
+        ProtocolChecker::SegmentLayout layout;
+        layout.slot_stride = stride;
+        layout.obj_bytes = options.obj_bytes;
+        layout.queue_depth = options.queue_depth;
+        layout.senders = options.graph.InEdges(node);
+        checker.OnSegmentCreate(node, mr.rkey, seg_id, std::move(layout));
+      }
     }
   } else {
     const DstormDomain::SegmentSpec& spec = domain_->specs_[static_cast<size_t>(seg_id)];
@@ -318,6 +327,10 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
   std::span<std::byte> mem = fabric_->Data(s.recv_mr);
   int consumed = 0;
 
+  ProtocolChecker& checker = fabric_->checker();
+  const bool checking = checker.enabled();
+  const SimTime check_now = proc_ != nullptr ? proc_->now() : engine_->now();
+
   const auto& in_edges = s.options.graph.InEdges(rank_);
   for (size_t pos = 0; pos < in_edges.size(); ++pos) {
     const int sender = in_edges[pos];
@@ -345,9 +358,19 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
       const uint64_t seq_back = LoadU64(base + kPayloadOff + bytes);
       if (seq_front != seq_back) {
         c_torn_skipped_->Add(1);
+        if (checking) {
+          checker.OnSlotRead(rank_, s.recv_mr.rkey, static_cast<int>(pos), slot, seq_front,
+                             seq_back, LoadU32(base + kIterOff), {},
+                             ProtocolChecker::ReadAction::kSkippedTorn, check_now);
+        }
         continue;  // torn (write in flight) — skip, the paper's atomic gather
       }
       if (seq_front <= s.last_consumed[static_cast<size_t>(sender)]) {
+        if (checking) {
+          checker.OnSlotRead(rank_, s.recv_mr.rkey, static_cast<int>(pos), slot, seq_front,
+                             seq_back, LoadU32(base + kIterOff), {},
+                             ProtocolChecker::ReadAction::kSkippedStale, check_now);
+        }
         continue;  // already folded
       }
       fresh[fresh_count++] = Fresh{seq_front, slot, LoadU32(base + kIterOff), bytes};
@@ -360,6 +383,12 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
       obj.sender = sender;
       obj.iter = fresh[i].iter;
       obj.bytes = std::span<const std::byte>(base + kPayloadOff, fresh[i].bytes);
+      if (checking) {
+        // Stamps were validated equal in the scan above; no yield since.
+        checker.OnSlotRead(rank_, s.recv_mr.rkey, static_cast<int>(pos), fresh[i].slot,
+                           fresh[i].seq, fresh[i].seq, fresh[i].iter, obj.bytes,
+                           ProtocolChecker::ReadAction::kConsumed, check_now);
+      }
       consume(obj);
       const uint64_t previous = s.last_consumed[static_cast<size_t>(sender)];
       if (fresh[i].seq > previous + 1 && previous != 0) {
@@ -529,6 +558,10 @@ Status Dstorm::Barrier(SimDuration timeout) {
 void Dstorm::FinishBarriers() {
   MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
   constexpr uint64_t kFinished = std::numeric_limits<uint64_t>::max();
+  // Like OnBarrierEnter in BarrierResume, this must precede the counter
+  // writes: a peer's barrier can complete on our "finished" counter the
+  // instant it applies, before our completions return.
+  fabric_->checker().OnRankFinished(rank_);
   std::span<std::byte> my_counters = fabric_->Data(barrier_mr_);
   StoreU64(my_counters.data() + static_cast<size_t>(rank_) * sizeof(uint64_t), kFinished);
   std::byte wire[sizeof(uint64_t)];
@@ -550,6 +583,13 @@ void Dstorm::FinishBarriers() {
 Status Dstorm::BarrierResume(SimDuration timeout) {
   MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
   const uint64_t round = barrier_round_;
+
+  ProtocolChecker& checker = fabric_->checker();
+  if (checker.enabled()) {
+    // Enter precedes the arrival writes below, so no peer can observe (and
+    // exit on) this round before the checker knows we entered it.
+    checker.OnBarrierEnter(rank_, round, proc_->now());
+  }
 
   // Publish my arrival: local store for my own slot, one-sided writes to the
   // rest of the group.
@@ -590,6 +630,10 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
   if (timeout <= 0) {
     proc_->WaitUntil(arrived);
     DrainCompletions();
+    if (checker.enabled()) {
+      const std::vector<int> members = GroupMembers();
+      checker.OnBarrierExit(rank_, round, members, proc_->now());
+    }
     return OkStatus();
   }
   const bool ok = proc_->WaitUntilOr(arrived, proc_->now() + timeout);
@@ -597,6 +641,10 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
   if (!ok) {
     c_barrier_timeouts_->Add(1);
     return DeadlineExceededError("barrier timeout on rank " + std::to_string(rank_));
+  }
+  if (checker.enabled()) {
+    const std::vector<int> members = GroupMembers();
+    checker.OnBarrierExit(rank_, round, members, proc_->now());
   }
   return OkStatus();
 }

@@ -65,6 +65,10 @@ class Dstorm {
   // layers (VOL, fault monitor) instrument through this.
   RankTelemetry& telemetry() const { return *telemetry_; }
 
+  // The fabric this endpoint posts through (higher layers reach the shared
+  // protocol checker via fabric().checker()).
+  Fabric& fabric() const { return *fabric_; }
+
   // Collective: every live node must call with identical options; segments
   // are numbered by call order. Registers the receive memory on this node.
   SegmentId CreateSegment(const SegmentOptions& options);

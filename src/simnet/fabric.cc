@@ -23,13 +23,18 @@ int64_t TrafficStats::TotalMessages() const {
   return total;
 }
 
-Fabric::Fabric(Engine& engine, int nodes, FabricOptions options, TelemetryDomain* telemetry)
+Fabric::Fabric(Engine& engine, int nodes, FabricOptions options, TelemetryDomain* telemetry,
+               ProtocolChecker* checker)
     : engine_(engine),
       nodes_(nodes),
       options_(options),
       owned_telemetry_(telemetry == nullptr ? std::make_unique<TelemetryDomain>(nodes)
                                             : nullptr),
       telemetry_(telemetry == nullptr ? owned_telemetry_.get() : telemetry),
+      owned_checker_(checker == nullptr
+                         ? std::make_unique<ProtocolChecker>(CheckLevel::kOff, nodes)
+                         : nullptr),
+      checker_(checker == nullptr ? owned_checker_.get() : checker),
       stats_(nodes),
       regions_(static_cast<size_t>(nodes)),
       cq_(static_cast<size_t>(nodes)),
@@ -185,8 +190,8 @@ Result<uint64_t> Fabric::PostWrite(int src, SimTime now, MrHandle dst_mr, size_t
   const size_t half = payload->size() / 2;
   const SimTime second_half_at = arrival + options_.net.latency;
 
-  engine_.ScheduleEvent(arrival, [this, src, dst, wr_id, ack, apply_payload, split, half,
-                                  second_half_at, payload] {
+  engine_.ScheduleEvent(arrival, [this, src, dst, dst_mr, dst_offset, wr_id, ack, apply_payload,
+                                  split, half, second_half_at, payload] {
     WcStatus status = WcStatus::kSuccess;
     if (!alive_[static_cast<size_t>(dst)]) {
       status = WcStatus::kRemoteDead;
@@ -197,11 +202,21 @@ Result<uint64_t> Fabric::PostWrite(int src, SimTime now, MrHandle dst_mr, size_t
       if (!ok) {
         status = WcStatus::kInvalidRkey;
       } else if (split) {
+        checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, *payload,
+                                     ProtocolChecker::ApplyPhase::kFirstHalf, engine_.now());
         // Second half lands one latency later — a reader in between observes
         // a torn write, which the dstorm sequence stamps detect.
-        engine_.ScheduleEvent(second_half_at, [apply_payload, half, payload] {
-          (void)apply_payload(half, payload->size());
-        });
+        engine_.ScheduleEvent(second_half_at,
+                              [this, src, dst, dst_mr, dst_offset, apply_payload, half, payload] {
+                                if (apply_payload(half, payload->size())) {
+                                  checker_->OnRemoteWriteApply(
+                                      src, dst, dst_mr.rkey, dst_offset, *payload,
+                                      ProtocolChecker::ApplyPhase::kSecondHalf, engine_.now());
+                                }
+                              });
+      } else {
+        checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, *payload,
+                                     ProtocolChecker::ApplyPhase::kFull, engine_.now());
       }
     }
     DeliverCompletion(src, wr_id, dst, status, ack);

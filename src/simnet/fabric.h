@@ -31,6 +31,7 @@
 
 #include "src/base/status.h"
 #include "src/base/time_units.h"
+#include "src/check/check.h"
 #include "src/sim/engine.h"
 #include "src/telemetry/telemetry.h"
 
@@ -109,8 +110,10 @@ class Fabric {
   // When `telemetry` is null the fabric creates a private domain, so
   // standalone construction (tests, microbenches) still gets counters; the
   // runtime passes its own domain so all layers of a rank share registries.
+  // Likewise for `checker`: when null, a private off-level ProtocolChecker is
+  // created, so instrumented paths never null-check (and cost one branch).
   Fabric(Engine& engine, int nodes, FabricOptions options,
-         TelemetryDomain* telemetry = nullptr);
+         TelemetryDomain* telemetry = nullptr, ProtocolChecker* checker = nullptr);
 
   int nodes() const { return nodes_; }
   const FabricOptions& options() const { return options_; }
@@ -118,6 +121,8 @@ class Fabric {
   const TrafficStats& stats() const { return stats_; }
   TelemetryDomain& telemetry() { return *telemetry_; }
   const TelemetryDomain& telemetry() const { return *telemetry_; }
+  ProtocolChecker& checker() { return *checker_; }
+  const ProtocolChecker& checker() const { return *checker_; }
 
   // Registers `bytes` of fabric-owned memory on `node`; the region is
   // remotely writable by any peer holding the handle.
@@ -192,6 +197,8 @@ class Fabric {
   const FabricOptions options_;
   std::unique_ptr<TelemetryDomain> owned_telemetry_;  // set when none was passed
   TelemetryDomain* telemetry_;
+  std::unique_ptr<ProtocolChecker> owned_checker_;  // off-level, set when none passed
+  ProtocolChecker* checker_;
   std::vector<NodeCounters> counters_;  // [node]
   TrafficStats stats_;
   std::vector<std::vector<std::unique_ptr<Region>>> regions_;  // [node][rkey]

@@ -67,10 +67,21 @@ Status MaltVector::EncodeAndScatter(std::span<const int>* dsts) {
     payload = std::span<const std::byte>(wire_.data(), 4 + static_cast<size_t>(nnz) * 8);
   }
   c_scatters_->Add(1);
+  NoteScatterStamp();
   if (dsts == nullptr) {
     return dstorm_.Scatter(segment_, payload, iteration_);
   }
   return dstorm_.ScatterTo(segment_, *dsts, payload, iteration_);
+}
+
+// Outgoing iteration stamps must never regress within one vector: the SSP
+// gate and the ASP straggler filter both order peers by these stamps.
+void MaltVector::NoteScatterStamp() {
+  ProtocolChecker& checker = dstorm_.fabric().checker();
+  if (checker.enabled()) {
+    const SimTime now = dstorm_.bound() ? dstorm_.process().now() : 0;
+    checker.OnVolScatter(dstorm_.rank(), segment_, iteration_, now);
+  }
 }
 
 Status MaltVector::Scatter() { return EncodeAndScatter(nullptr); }
@@ -94,6 +105,7 @@ Status MaltVector::ScatterIndices(std::span<const uint32_t> indices) {
   }
   const std::span<const std::byte> payload(wire_.data(), 4 + static_cast<size_t>(nnz) * 8);
   c_scatters_->Add(1);
+  NoteScatterStamp();
   return dstorm_.Scatter(segment_, payload, iteration_);
 }
 

@@ -123,6 +123,7 @@ class MaltVector {
 
   Dstorm& dstorm() { return dstorm_; }
   const Graph& graph() const { return options_.graph; }
+  SegmentId segment() const { return segment_; }
 
  private:
   struct Decoded {
@@ -138,6 +139,8 @@ class MaltVector {
   std::vector<Decoded> Collect(int64_t min_iter);
   GatherResult FoldAll(const std::vector<Decoded>& updates, const FoldFn& fold);
   Status EncodeAndScatter(std::span<const int>* dsts);
+  // Records the outgoing stamp with the protocol checker (monotonicity).
+  void NoteScatterStamp();
 
   Dstorm& dstorm_;
   MaltVectorOptions options_;

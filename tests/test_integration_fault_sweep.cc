@@ -51,6 +51,10 @@ MaltOptions SweepOptions(SyncMode sync) {
   options.sync = sync;
   options.barrier_timeout = FromSeconds(0.002);
   options.fault.recovery_cost = FromSeconds(0.001);
+  // Protocol-validate every sweep point: a kill mid-scatter or mid-barrier
+  // must not produce torn consumes, stamp regressions, or barrier-separation
+  // violations among the survivors.
+  options.check = CheckLevel::kCheap;
   return options;
 }
 
@@ -79,6 +83,9 @@ TEST_P(FaultSweep, TrainingSurvivesAndConverges) {
 
   EXPECT_EQ(malt.survivors(), 4);
   EXPECT_FALSE(malt.rank_survived(test_case.victim));
+  EXPECT_GT(malt.checker().events_checked(), 0);
+  EXPECT_EQ(malt.checker().violation_count(), 0)
+      << malt.checker().ReportJson();
   if (test_case.victim != 0) {
     // Rank 0 is the metrics probe; when it is the victim there is no curve,
     // but the run completing with the right survivor set is the property.
@@ -111,6 +118,7 @@ TEST(FaultSweepExtra, TwoSequentialFailures) {
   options.sync = SyncMode::kBSP;
   options.barrier_timeout = FromSeconds(0.002);
   options.fault.recovery_cost = FromSeconds(0.001);
+  options.check = CheckLevel::kCheap;
 
   Malt malt(options);
   malt.ScheduleKill(5, 0.15 * BaselineSeconds(SyncMode::kBSP));
@@ -118,6 +126,7 @@ TEST(FaultSweepExtra, TwoSequentialFailures) {
   const SvmRunResult result = RunDistributedSvm(malt, config);
   EXPECT_EQ(malt.survivors(), 4);
   EXPECT_LT(result.final_loss, 0.70);
+  EXPECT_EQ(malt.checker().violation_count(), 0) << malt.checker().ReportJson();
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "src/base/hash.h"
 #include "src/base/rng.h"
+#include "src/check/check.h"
 #include "src/comm/graph.h"
 #include "src/dstorm/dstorm.h"
 #include "src/sim/engine.h"
@@ -109,7 +110,8 @@ TEST(SimProperties, WritesNeverArriveBeforePostTime) {
 TEST(SimProperties, BarrierStormNoDeadlock) {
   // 12 ranks hammer barriers with uneven compute between them.
   Engine engine;
-  Fabric fabric(engine, 12, FastNet());
+  ProtocolChecker checker(CheckLevel::kCheap, 12);
+  Fabric fabric(engine, 12, FastNet(), nullptr, &checker);
   DstormDomain domain(engine, fabric, 12);
   int completed = 0;
   for (int rank = 0; rank < 12; ++rank) {
@@ -126,13 +128,16 @@ TEST(SimProperties, BarrierStormNoDeadlock) {
   }
   engine.Run();
   EXPECT_EQ(completed, 12);
+  EXPECT_GT(checker.events_checked(), 0);
+  EXPECT_EQ(checker.violation_count(), 0) << checker.ReportJson();
 }
 
 TEST(SimProperties, ScatterStormDeliversFreshest) {
   // Async senders lap a slow receiver thousands of times; the receiver must
   // always observe consistent objects with non-decreasing iteration stamps.
   Engine engine;
-  Fabric fabric(engine, 3, FastNet());
+  ProtocolChecker checker(CheckLevel::kFull, 3);
+  Fabric fabric(engine, 3, FastNet(), nullptr, &checker);
   DstormDomain domain(engine, fabric, 3);
   bool receiver_ok = true;
 
@@ -176,11 +181,14 @@ TEST(SimProperties, ScatterStormDeliversFreshest) {
   }
   engine.Run();
   EXPECT_TRUE(receiver_ok);
+  EXPECT_GT(checker.events_checked(), 0);
+  EXPECT_EQ(checker.violation_count(), 0) << checker.ReportJson();
 }
 
 TEST(SimProperties, LostUpdatesAccountedUnderOverrun) {
   Engine engine;
-  Fabric fabric(engine, 2, FastNet());
+  ProtocolChecker checker(CheckLevel::kCheap, 2);
+  Fabric fabric(engine, 2, FastNet(), nullptr, &checker);
   DstormDomain domain(engine, fabric, 2);
   int64_t lost = -1;
   int consumed = 0;
@@ -214,6 +222,7 @@ TEST(SimProperties, LostUpdatesAccountedUnderOverrun) {
   // Conservation: everything sent was either consumed or counted as lost.
   EXPECT_EQ(consumed + lost, kSent);
   EXPECT_GT(lost, 0);
+  EXPECT_EQ(checker.violation_count(), 0) << checker.ReportJson();
 }
 
 }  // namespace

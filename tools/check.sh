@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Repo lint gate: configure + build + clang-tidy + analysis tests + protocol
+# check, as one command (DESIGN.md §9, README "Analysis").
+#
+#   tools/check.sh            # full gate
+#   tools/check.sh --fast     # skip the UBSan rebuild (tidy + tests only)
+#
+# Stages:
+#   1. UBSan build   — cmake -DMALT_SANITIZE=undefined, -fno-sanitize-recover,
+#                      so any UB aborts the gate.
+#   2. clang-tidy    — .clang-tidy profile over src/ and tools/ (skipped with
+#                      a warning if clang-tidy is not installed).
+#   3. ctest -L analysis — the protocol-checker test suite.
+#   4. malt_run --check=full — the SVM example under the happens-before
+#                      validator; any violation fails the gate.
+set -u
+
+cd "$(dirname "$0")/.."
+REPO="$PWD"
+BUILD_DIR="${BUILD_DIR:-$REPO/build-ubsan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+failures=0
+note() { printf '\n== %s\n' "$*"; }
+fail() { printf 'check.sh: FAIL: %s\n' "$*" >&2; failures=$((failures + 1)); }
+
+# --- 1. configure + build (UBSan) -------------------------------------------
+note "configure + build (MALT_SANITIZE=undefined) in $BUILD_DIR"
+if [ "$FAST" = 1 ] && [ -d "$BUILD_DIR" ]; then
+  echo "(--fast: reusing existing build)"
+fi
+cmake -B "$BUILD_DIR" -S "$REPO" -DMALT_SANITIZE=undefined >/dev/null \
+  || { fail "cmake configure"; exit 1; }
+cmake --build "$BUILD_DIR" -j "$JOBS" > /tmp/malt_check_build.log 2>&1 \
+  || { tail -40 /tmp/malt_check_build.log; fail "build"; exit 1; }
+echo "build OK"
+
+# --- 2. clang-tidy -----------------------------------------------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The UBSan build exports compile_commands.json via CMAKE_EXPORT_COMPILE_COMMANDS.
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$BUILD_DIR" -S "$REPO" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  mapfile -t tidy_sources < <(find src tools -name '*.cc' -o -name '*.cpp' | sort)
+  if clang-tidy -p "$BUILD_DIR" --quiet "${tidy_sources[@]}" > /tmp/malt_check_tidy.log 2>&1; then
+    echo "clang-tidy OK (${#tidy_sources[@]} files)"
+  else
+    tail -60 /tmp/malt_check_tidy.log
+    fail "clang-tidy"
+  fi
+else
+  echo "WARNING: clang-tidy not installed; skipping the tidy stage" >&2
+fi
+
+# --- 3. analysis-labelled tests ---------------------------------------------
+note "ctest -L analysis"
+if (cd "$BUILD_DIR" && ctest -L analysis --output-on-failure -j "$JOBS"); then
+  echo "analysis tests OK"
+else
+  fail "ctest -L analysis"
+fi
+
+# --- 4. protocol check on the SVM example ------------------------------------
+note "malt_run --check=full (SVM)"
+if "$BUILD_DIR/tools/malt_run" --app=svm --epochs=3 --check=full \
+     --check_out=/tmp/malt_check_report.json; then
+  echo "protocol check OK (report: /tmp/malt_check_report.json)"
+else
+  cat /tmp/malt_check_report.json 2>/dev/null
+  fail "malt_run --check=full reported violations"
+fi
+
+note "summary"
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: $failures stage(s) failed"
+  exit 1
+fi
+echo "check.sh: all stages passed"

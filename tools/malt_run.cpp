@@ -80,6 +80,29 @@ void EmitTelemetry(malt::Malt& malt, const std::string& metrics_out,
   }
 }
 
+// Post-run protocol-checker report (see src/check/check.h). Returns the
+// number of violations so main() can turn them into a nonzero exit.
+int64_t EmitCheck(malt::Malt& malt, const std::string& check_out) {
+  const malt::ProtocolChecker& checker = malt.checker();
+  if (!checker.enabled()) {
+    return 0;
+  }
+  std::printf("check: level=%s events=%lld violations=%lld\n",
+              malt::ToString(checker.level()).c_str(),
+              static_cast<long long>(checker.events_checked()),
+              static_cast<long long>(checker.violation_count()));
+  for (const malt::Violation& v : checker.violations()) {
+    std::printf("check:   [%s] rank %d at t=%lldns: %s\n", v.kind, v.rank,
+                static_cast<long long>(v.time), v.detail.c_str());
+  }
+  if (!check_out.empty()) {
+    const malt::Status status = checker.WriteReportJson(check_out);
+    MALT_CHECK(status.ok()) << status.ToString();
+    std::printf("wrote check report to %s\n", check_out.c_str());
+  }
+  return checker.violation_count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,8 +138,15 @@ int main(int argc, char** argv) {
       flags.GetInt("trace_capacity", 16384, "retained trace events per rank"));
   const double kill_at = flags.GetDouble("kill_at", -1.0, "kill a rank at this virtual time");
   const int kill_rank = static_cast<int>(flags.GetInt("kill_rank", -1, "which rank to kill"));
+  const std::string check_level =
+      flags.GetString("check", "off", "protocol checker level: off|cheap|full");
+  const std::string check_out =
+      flags.GetString("check_out", "", "write the checker's violations report (JSON) here");
   flags.Finish();
   options.telemetry.trace_capacity = static_cast<size_t>(trace_capacity);
+  const malt::Result<malt::CheckLevel> parsed_check = malt::ParseCheckLevel(check_level);
+  MALT_CHECK(parsed_check.ok()) << parsed_check.status().ToString();
+  options.check = *parsed_check;
 
   if (app == "svm") {
     malt::SparseDataset data;
@@ -151,7 +181,7 @@ int main(int argc, char** argv) {
       EmitCsv(csv, r.loss_vs_time, "virtual_seconds", "test_hinge_loss");
     }
     EmitTelemetry(malt, metrics_out, trace_out);
-    return 0;
+    return EmitCheck(malt, check_out) > 0 ? 3 : 0;
   }
 
   if (app == "mf") {
@@ -171,7 +201,7 @@ int main(int argc, char** argv) {
       EmitCsv(csv, r.rmse_vs_time, "virtual_seconds", "test_rmse");
     }
     EmitTelemetry(malt, metrics_out, trace_out);
-    return 0;
+    return EmitCheck(malt, check_out) > 0 ? 3 : 0;
   }
 
   if (app == "nn") {
@@ -194,7 +224,7 @@ int main(int argc, char** argv) {
       EmitCsv(csv, r.auc_vs_time, "virtual_seconds", "test_auc");
     }
     EmitTelemetry(malt, metrics_out, trace_out);
-    return 0;
+    return EmitCheck(malt, check_out) > 0 ? 3 : 0;
   }
 
   MALT_CHECK(false) << "unknown --app '" << app << "' (svm|mf|nn)";
