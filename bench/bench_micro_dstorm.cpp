@@ -13,6 +13,7 @@
 #include "src/comm/graph.h"
 #include "src/dstorm/dstorm.h"
 #include "src/vol/malt_vector.h"
+#include "src/simnet/fabric.h"
 
 namespace malt {
 namespace {

@@ -11,6 +11,7 @@
 #include "src/base/flags.h"
 #include "src/comm/graph.h"
 #include "src/dstorm/dstorm.h"
+#include "src/simnet/fabric.h"
 
 int main(int argc, char** argv) {
   malt::Flags flags;

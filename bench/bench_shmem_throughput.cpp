@@ -1,0 +1,174 @@
+// Shared-memory transport throughput: wall-clock scatter/gather rates as the
+// rank count grows (the tentpole acceptance figure for src/shmem/).
+//
+// Two levels, each swept over ranks {1, 2, 4, 8} and a few object sizes:
+//   raw:    concurrent PostWrite streams straight through the transport
+//           (ranks=1 writes into its own region — the loopback DMA path),
+//           reporting aggregate MB/s and writes/s.
+//   dstorm: full protocol rounds (Scatter + Gather with slot stamps, torn
+//           detection, freshness) over an all-to-all dataflow, reporting
+//           aggregate scattered MB/s and gathered objects/s.
+//
+// Unlike the fig* benches these numbers are host wall-clock, not virtual
+// time: scaling with rank count demonstrates the backend runs ranks as
+// genuinely concurrent threads.
+//
+//   bench_shmem_throughput [--ranks=1,2,4,8] [--bytes=1024,65536] [--iters=2000]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/base/log.h"
+#include "src/comm/graph.h"
+#include "src/dstorm/dstorm.h"
+#include "src/shmem/rank_ctx.h"
+#include "src/shmem/shmem_transport.h"
+
+namespace malt {
+namespace {
+
+std::vector<int> ParseIntList(const std::string& s) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(std::stoi(tok));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Raw transport: every rank streams `iters` one-sided writes of `bytes` into
+// the next rank's region (its own when alone). Returns aggregate seconds.
+double RawWriteStreams(int ranks, size_t bytes, int iters) {
+  ShmemTransport t(ranks);
+  std::vector<MrHandle> mr;
+  mr.reserve(static_cast<size_t>(ranks));
+  for (int node = 0; node < ranks; ++node) {
+    // Slot-striped like a dstorm queue so the guard cost is representative.
+    mr.push_back(t.RegisterMemory(node, bytes, bytes));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < ranks; ++rank) {
+    threads.emplace_back([&, rank] {
+      const MrHandle dst = mr[static_cast<size_t>((rank + 1) % ranks)];
+      std::vector<std::byte> payload(bytes, std::byte{0xa5});
+      Completion cq[64];
+      for (int i = 0; i < iters; ++i) {
+        MALT_CHECK(t.PostWrite(rank, t.now(), dst, 0, payload).ok());
+        t.PollCq(rank, cq);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  return SecondsSince(t0);
+}
+
+struct DstormRates {
+  double seconds = 0.0;
+  int64_t objects_gathered = 0;
+};
+
+// Full-protocol rounds: each rank scatters its object all-to-all and gathers
+// whatever has arrived, `iters` rounds, no barriers (the ASP-style hot path).
+DstormRates DstormRounds(int ranks, size_t bytes, int iters) {
+  ShmemTransport t(ranks);
+  DstormDomain domain(t, ranks);
+  std::vector<std::unique_ptr<ShmemRankCtx>> ctxs;
+  for (int rank = 0; rank < ranks; ++rank) {
+    ctxs.push_back(std::make_unique<ShmemRankCtx>(rank, t.clock()));
+  }
+
+  std::vector<int64_t> gathered(static_cast<size_t>(ranks), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < ranks; ++rank) {
+    threads.emplace_back([&, rank] {
+      Dstorm& d = domain.node(rank);
+      d.BindCtx(*ctxs[static_cast<size_t>(rank)]);
+      SegmentOptions opts;
+      opts.obj_bytes = bytes;
+      opts.graph = AllToAllGraph(ranks);
+      opts.queue_depth = 4;
+      const SegmentId seg = d.CreateSegment(opts);
+      std::vector<std::byte> payload(bytes, std::byte{0x5a});
+      int64_t mine = 0;
+      for (int i = 1; i <= iters; ++i) {
+        MALT_CHECK(d.Scatter(seg, payload, static_cast<uint32_t>(i)).ok());
+        mine += d.Gather(seg, [](const RecvObject&) {});
+      }
+      d.FinishBarriers();
+      gathered[static_cast<size_t>(rank)] = mine;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  DstormRates r;
+  r.seconds = SecondsSince(t0);
+  for (int64_t g : gathered) {
+    r.objects_gathered += g;
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace malt
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const std::vector<int> rank_list =
+      malt::ParseIntList(flags.GetString("ranks", "1,2,4,8", "rank counts to sweep"));
+  const std::vector<int> byte_list =
+      malt::ParseIntList(flags.GetString("bytes", "1024,65536", "object sizes to sweep"));
+  const int iters = static_cast<int>(flags.GetInt("iters", 2000, "posts/rounds per rank"));
+  flags.Finish();
+
+  std::printf("# shmem transport throughput (wall-clock), %d iters/rank\n", iters);
+  std::printf("%-8s %-6s %-8s %12s %12s %14s %14s\n", "level", "ranks", "bytes", "MB/s",
+              "writes/s", "gathered/s", "seconds");
+  for (const int bytes : byte_list) {
+    for (const int ranks : rank_list) {
+      const double secs =
+          malt::RawWriteStreams(ranks, static_cast<size_t>(bytes), iters);
+      const double total_bytes = static_cast<double>(ranks) * iters * bytes;
+      std::printf("%-8s %-6d %-8d %12.1f %12.0f %14s %14.4f\n", "raw", ranks, bytes,
+                  total_bytes / secs / 1e6, static_cast<double>(ranks) * iters / secs, "-",
+                  secs);
+    }
+    for (const int ranks : rank_list) {
+      if (ranks < 2) {
+        continue;  // dstorm all-to-all needs peers
+      }
+      const malt::DstormRates r =
+          malt::DstormRounds(ranks, static_cast<size_t>(bytes), iters);
+      // Each round scatters to ranks-1 peers.
+      const double total_bytes =
+          static_cast<double>(ranks) * iters * (ranks - 1) * bytes;
+      std::printf("%-8s %-6d %-8d %12.1f %12.0f %14.0f %14.4f\n", "dstorm", ranks, bytes,
+                  total_bytes / r.seconds / 1e6,
+                  static_cast<double>(ranks) * iters * (ranks - 1) / r.seconds,
+                  static_cast<double>(r.objects_gathered) / r.seconds, r.seconds);
+    }
+  }
+  return 0;
+}

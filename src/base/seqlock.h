@@ -19,6 +19,70 @@
 
 namespace malt {
 
+// Data-race-free byte copies for seqlock-protected memory under *real*
+// concurrency (the shmem transport, TSan builds). The seqlock protocol
+// tolerates torn reads — it detects and retries them — but a plain memcpy
+// racing a writer is still undefined behavior at the language level and a
+// reportable race under ThreadSanitizer. These helpers move the bytes
+// through relaxed word-sized atomics instead: the race the protocol accepts
+// becomes well-defined (each word is atomic; tearing only ever happens at
+// word granularity, which the sequence validation catches).
+//
+// AtomicStoreBytes aligns on the destination (the shared region; the source
+// is writer-private), AtomicLoadBytes on the source (the shared region; the
+// destination is reader-private).
+
+inline void AtomicStoreBytes(void* dst, const void* src, size_t len) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  while (len > 0 && (reinterpret_cast<uintptr_t>(d) % alignof(uint64_t)) != 0) {
+    std::atomic_ref<unsigned char>(*d).store(*s, std::memory_order_relaxed);
+    ++d;
+    ++s;
+    --len;
+  }
+  while (len >= sizeof(uint64_t)) {
+    uint64_t word;
+    std::memcpy(&word, s, sizeof(word));
+    std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(d))
+        .store(word, std::memory_order_relaxed);
+    d += sizeof(uint64_t);
+    s += sizeof(uint64_t);
+    len -= sizeof(uint64_t);
+  }
+  while (len > 0) {
+    std::atomic_ref<unsigned char>(*d).store(*s, std::memory_order_relaxed);
+    ++d;
+    ++s;
+    --len;
+  }
+}
+
+inline void AtomicLoadBytes(void* dst, const void* src, size_t len) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  while (len > 0 && (reinterpret_cast<uintptr_t>(s) % alignof(uint64_t)) != 0) {
+    *d = std::atomic_ref<const unsigned char>(*s).load(std::memory_order_relaxed);
+    ++d;
+    ++s;
+    --len;
+  }
+  while (len >= sizeof(uint64_t)) {
+    const uint64_t word = std::atomic_ref<const uint64_t>(*reinterpret_cast<const uint64_t*>(s))
+                              .load(std::memory_order_relaxed);
+    std::memcpy(d, &word, sizeof(word));
+    d += sizeof(uint64_t);
+    s += sizeof(uint64_t);
+    len -= sizeof(uint64_t);
+  }
+  while (len > 0) {
+    *d = std::atomic_ref<const unsigned char>(*s).load(std::memory_order_relaxed);
+    ++d;
+    ++s;
+    --len;
+  }
+}
+
 class SeqLock {
  public:
   SeqLock() : seq_(0) {}
@@ -92,6 +156,37 @@ class SeqLock {
     }
     std::memcpy(dst, src, len);
     return ReadValidate(begin_seq);
+  }
+
+  // --- preemptive-concurrency variants (shmem transport, TSan builds) -------
+  // Same protocol, but payload bytes move through relaxed word atomics so the
+  // tolerated race is data-race-free (see AtomicStoreBytes above).
+
+  void WriteAtomic(void* dst, const void* src, size_t len) {
+    WriteBegin();
+    AtomicStoreBytes(dst, src, len);
+    WriteEnd();
+  }
+
+  bool TryReadCopyAtomic(void* dst, const void* src, size_t len) const {
+    const uint64_t begin_seq = seq_.load(std::memory_order_acquire);
+    if (begin_seq & 1) {
+      return false;
+    }
+    AtomicLoadBytes(dst, src, len);
+    // Order the payload loads before the validating sequence load: the
+    // validation must not be satisfied by a stale sequence observed before
+    // the payload was read.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return ReadValidate(begin_seq);
+  }
+
+  int ReadCopyAtomic(void* dst, const void* src, size_t len) const {
+    int retries = 0;
+    while (!TryReadCopyAtomic(dst, src, len)) {
+      ++retries;
+    }
+    return retries;
   }
 
  private:

@@ -1,0 +1,41 @@
+#include "src/comm/transport.h"
+
+namespace malt {
+
+Result<TransportKind> ParseTransportKind(const std::string& s) {
+  if (s == "sim") {
+    return TransportKind::kSim;
+  }
+  if (s == "shmem") {
+    return TransportKind::kShmem;
+  }
+  return InvalidArgumentError("unknown transport '" + s + "' (sim|shmem)");
+}
+
+std::string ToString(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kShmem:
+      return "shmem";
+  }
+  return "?";
+}
+
+int64_t TrafficStats::TotalBytes() const {
+  int64_t total = 0;
+  for (const std::atomic<int64_t>& b : tx_bytes_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t TrafficStats::TotalMessages() const {
+  int64_t total = 0;
+  for (const std::atomic<int64_t>& m : tx_msgs_) {
+    total += m.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace malt

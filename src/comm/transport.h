@@ -1,0 +1,221 @@
+// Transport — the one-sided-write substrate dstorm programs against.
+//
+// The paper's dstorm runs over GASPI/InfiniBand; this repo has two
+// implementations of the same verbs-like subset:
+//   - Fabric (src/simnet): a discrete-event simulation with virtual time,
+//     latency/bandwidth modeling, partition injection, and deterministic
+//     schedules — the backend for modeled figures and protocol checking.
+//   - ShmemTransport (src/shmem): ranks are real concurrent OS threads and a
+//     one-sided write is an actual memcpy into a peer-owned segment — the
+//     backend for wall-clock throughput/latency numbers.
+// Swapping the transport under an unchanged application API follows the
+// multi-backend pattern of distributed TensorFlow's MPI substrate.
+//
+// RankCtx is the matching execution context: how a rank observes time,
+// charges modeled compute, blocks on a predicate, and dies. The simulator
+// implements it over Process (virtual time, cooperative scheduling); the
+// shmem backend over the wall clock and cancellation flags.
+
+#ifndef SRC_COMM_TRANSPORT_H_
+#define SRC_COMM_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/check/check.h"
+#include "src/telemetry/telemetry.h"
+
+namespace malt {
+
+enum class TransportKind : uint8_t {
+  kSim = 0,    // discrete-event simulation, virtual time
+  kShmem = 1,  // shared memory, concurrent threads, wall-clock time
+};
+
+Result<TransportKind> ParseTransportKind(const std::string& s);
+std::string ToString(TransportKind kind);
+
+enum class WcStatus : uint8_t {
+  kSuccess = 0,
+  kRemoteDead = 1,    // destination killed (fail-stop)
+  kUnreachable = 2,   // network partition
+  kInvalidRkey = 3,   // no such memory region / out of bounds
+};
+
+struct Completion {
+  uint64_t wr_id = 0;
+  int dst = -1;
+  WcStatus status = WcStatus::kSuccess;
+};
+
+// Handle to a registered memory region.
+struct MrHandle {
+  int node = -1;
+  uint32_t rkey = 0;
+  bool valid() const { return node >= 0; }
+};
+
+// Per-(src,dst) and per-node byte/message accounting — regenerates Fig. 13.
+// Cells are relaxed atomics: under the shmem transport a sender's thread
+// bumps the receiver's rx counter concurrently with other senders.
+class TrafficStats {
+ public:
+  explicit TrafficStats(int n)
+      : tx_bytes_(static_cast<size_t>(n)),
+        rx_bytes_(static_cast<size_t>(n)),
+        tx_msgs_(static_cast<size_t>(n)) {}
+
+  void Record(int src, int dst, size_t bytes) {
+    tx_bytes_[static_cast<size_t>(src)].fetch_add(static_cast<int64_t>(bytes),
+                                                  std::memory_order_relaxed);
+    rx_bytes_[static_cast<size_t>(dst)].fetch_add(static_cast<int64_t>(bytes),
+                                                  std::memory_order_relaxed);
+    tx_msgs_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t TxBytes(int node) const {
+    return tx_bytes_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
+  }
+  int64_t RxBytes(int node) const {
+    return rx_bytes_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
+  }
+  int64_t TxMessages(int node) const {
+    return tx_msgs_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
+  }
+  int64_t TotalBytes() const;
+  int64_t TotalMessages() const;
+
+ private:
+  std::vector<std::atomic<int64_t>> tx_bytes_;
+  std::vector<std::atomic<int64_t>> rx_bytes_;
+  std::vector<std::atomic<int64_t>> tx_msgs_;
+};
+
+// The one-sided-write subset of verbs that dstorm needs. All `node` / `src`
+// arguments are ranks in [0, nodes()).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+  virtual int nodes() const = 0;
+
+  // Transport-level clock: virtual nanoseconds for the simulator, wall-clock
+  // nanoseconds since transport construction for shmem.
+  virtual SimTime now() const = 0;
+
+  virtual TelemetryDomain& telemetry() = 0;
+  virtual ProtocolChecker& checker() = 0;
+  virtual TrafficStats& stats() = 0;
+  virtual const TrafficStats& stats() const = 0;
+
+  // Registers `bytes` of transport-owned memory on `node`; the region is
+  // remotely writable by any peer holding the handle. `guard_stripe_bytes`
+  // is a concurrency hint for backends with real parallelism: nonzero means
+  // writers touch disjoint stripe-aligned windows of that size (dstorm's
+  // per-sender slots), and each stripe gets its own SeqLock so Read() can
+  // detect in-flight overwrites. 0 means no striped guard (single-word or
+  // add-only regions). The simulator ignores the hint.
+  virtual MrHandle RegisterMemory(int node, size_t bytes, size_t guard_stripe_bytes) = 0;
+  MrHandle RegisterMemory(int node, size_t bytes) { return RegisterMemory(node, bytes, 0); }
+
+  // De-registers (further writes fail with kInvalidRkey).
+  virtual void DeregisterMemory(MrHandle mr) = 0;
+
+  // Raw local access to a region's bytes. Only safe when no remote writer
+  // can race (single-threaded simulation, or post-join inspection); live
+  // shmem readers must go through Read().
+  virtual std::span<std::byte> Data(MrHandle mr) = 0;
+
+  // Copies `out.size()` bytes from the region into `out` (a local read by
+  // the region's owner; no network). Returns false when a concurrent remote
+  // write was detected mid-read — the caller treats the range as torn and
+  // retries or skips. The simulator always returns true.
+  virtual bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const = 0;
+
+  // Stores `data` into the region locally (the owner updating its own
+  // segment, e.g. its barrier counter slot), with the same guard/atomicity
+  // discipline remote writes use.
+  virtual void Write(MrHandle mr, size_t offset, std::span<const std::byte> data) = 0;
+
+  // Posts a one-sided RDMA write of `data` into `dst_mr` at `dst_offset`,
+  // from rank `src` at time `now`. Returns the work-request id, or an error
+  // if the send queue is full (caller should wait on HasSendRoom) or the
+  // arguments are invalid. The payload is snapshotted immediately; a
+  // completion appears on `src`'s CQ.
+  virtual Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+                                     std::span<const std::byte> data) = 0;
+
+  // Posts a one-sided *accumulating* write: each float in `values` is added
+  // to the destination floats in place — the fetch_and_add aggregation the
+  // paper's conclusion proposes doing in hardware. Same queueing/completion
+  // semantics as PostWrite. The destination range must be float-aligned.
+  virtual Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+                                        std::span<const float> values) = 0;
+
+  // Atomically drains an accumulator region laid out as out.size() sum
+  // floats plus one trailing contribution-count float: copies the sums into
+  // `out`, zeroes the region, and returns the count. Atomic with respect to
+  // in-flight PostFloatAdds.
+  virtual int64_t DrainFloatRegion(MrHandle mr, std::span<float> out) = 0;
+
+  // True when `node` may post another write without exceeding the send
+  // queue. The shmem transport applies writes inline and is never full.
+  virtual bool HasSendRoom(int node) const = 0;
+  virtual int OutstandingWrites(int node) const = 0;
+
+  // Drains up to `out.size()` completions pending on `node`'s CQ. Returns
+  // the number written.
+  virtual int PollCq(int node, std::span<Completion> out) = 0;
+
+  // True if the node's CQ is non-empty (for wait predicates).
+  virtual bool CqNonEmpty(int node) const = 0;
+
+  // Liveness, as observed by the transport layer.
+  virtual bool NodeAlive(int node) const = 0;
+
+  // Partition injection: when false, writes between a and b fail (both
+  // ways). Sim-only; the shmem backend aborts on SetReachable.
+  virtual void SetReachable(int a, int b, bool reachable) = 0;
+  virtual bool Reachable(int a, int b) const = 0;
+};
+
+// How a rank's code observes time, charges modeled compute, blocks, and
+// dies. One instance per rank, used only from that rank's thread.
+class RankCtx {
+ public:
+  virtual ~RankCtx() = default;
+
+  // Current time on the transport's clock (virtual or wall).
+  virtual SimTime Now() const = 0;
+
+  // Consumes `dt` of modeled compute time. Virtual time advances by dt in
+  // the simulator; on a real backend the compute itself took wall time, so
+  // this is only a cancellation point.
+  virtual void Advance(SimDuration dt) = 0;
+
+  // Yields to other ranks without consuming time.
+  virtual void Yield() = 0;
+
+  // Blocks until pred() holds.
+  virtual void Wait(const std::function<bool()>& pred) = 0;
+
+  // Like Wait but gives up at `deadline` (same clock as Now()). Returns
+  // true if the predicate held, false on timeout.
+  virtual bool WaitOr(const std::function<bool()>& pred, SimTime deadline) = 0;
+
+  // Terminates this rank fail-stop. Unwinds the rank's stack by throwing
+  // ProcessKilled; never returns.
+  [[noreturn]] virtual void KillSelf() = 0;
+};
+
+}  // namespace malt
+
+#endif  // SRC_COMM_TRANSPORT_H_

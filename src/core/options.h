@@ -10,6 +10,7 @@
 #include "src/base/status.h"
 #include "src/base/time_units.h"
 #include "src/check/check.h"
+#include "src/comm/transport.h"
 #include "src/fault/monitor.h"
 #include "src/simnet/fabric.h"
 
@@ -51,6 +52,10 @@ struct CostModel {
 
 struct MaltOptions {
   int ranks = 10;
+  // Execution backend: discrete-event simulation (virtual time, network
+  // modeling, protocol checking) or shared-memory threads (wall-clock time;
+  // see src/shmem/ and DESIGN.md §10).
+  TransportKind transport = TransportKind::kSim;
   SyncMode sync = SyncMode::kBSP;
   GraphKind graph = GraphKind::kAll;
   std::string graph_spec;      // for kCustom ("0>1,1>2,...")

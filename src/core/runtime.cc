@@ -1,8 +1,12 @@
 #include "src/core/runtime.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "src/base/log.h"
+#include "src/shmem/rank_ctx.h"
 
 namespace malt {
 
@@ -75,12 +79,12 @@ constexpr const char* kPhaseNames[] = {"compute", "scatter", "gather", "barrier"
 }  // namespace
 
 Worker::PhaseScope::PhaseScope(Worker& worker, Phase phase)
-    : worker_(worker), phase_(static_cast<int>(phase)), t0_(worker.proc_->now()) {
+    : worker_(worker), phase_(static_cast<int>(phase)), t0_(worker.ctx_->Now()) {
   worker_.telemetry().trace.Begin(kPhaseNames[phase_], t0_);
 }
 
 Worker::PhaseScope::~PhaseScope() {
-  const SimTime t1 = worker_.proc_->now();
+  const SimTime t1 = worker_.ctx_->Now();
   worker_.c_phase_ns_[phase_]->Add(t1 - t0_);
   worker_.telemetry().trace.End(kPhaseNames[phase_], t1);
 }
@@ -99,9 +103,14 @@ int Worker::world() const { return malt_->options().ranks; }
 
 const MaltOptions& Worker::options() const { return malt_->options(); }
 
-void Worker::ChargeFlops(double flops) { proc_->Advance(options().cost.ForFlops(flops)); }
+Process& Worker::process() {
+  MALT_CHECK(proc_ != nullptr) << "Worker::process() is sim-transport only";
+  return *proc_;
+}
 
-void Worker::ChargeSeconds(double seconds) { proc_->Advance(FromSeconds(seconds)); }
+void Worker::ChargeFlops(double flops) { ctx_->Advance(options().cost.ForFlops(flops)); }
+
+void Worker::ChargeSeconds(double seconds) { ctx_->Advance(FromSeconds(seconds)); }
 
 MaltVector Worker::CreateVector(const std::string& name, size_t dim, Layout layout,
                                 size_t max_nnz) {
@@ -125,14 +134,14 @@ GradientAccumulator Worker::CreateAccumulator(const std::string& name, size_t di
 }
 
 Status Worker::Barrier() {
-  const SimTime t0 = proc_->now();
+  const SimTime t0 = ctx_->Now();
   Status status = dstorm_->Barrier(options().barrier_timeout);
   while (status.code() == StatusCode::kDeadlineExceeded) {
     MALT_LOG_S(kInfo) << "rank " << rank_ << ": barrier timeout; health check";
     monitor_->HealthCheckAndRecover();
     status = dstorm_->BarrierResume(options().barrier_timeout);
   }
-  c_barrier_wait_ns_->Add(proc_->now() - t0);
+  c_barrier_wait_ns_->Add(ctx_->Now() - t0);
   return status;
 }
 
@@ -155,7 +164,7 @@ void Worker::SspWait(MaltVector& v) {
   if (options().sync != SyncMode::kSSP) {
     return;
   }
-  const SimTime t0 = proc_->now();
+  const SimTime t0 = ctx_->Now();
   const int64_t bound = options().staleness;
   auto fresh_enough = [this, &v, bound] {
     // A dead straggler must not stall us forever: MinPeerIteration skips
@@ -166,11 +175,11 @@ void Worker::SspWait(MaltVector& v) {
   while (!fresh_enough()) {
     // Stall for a bounded interval waiting for the straggler (paper §6.1),
     // then re-check health in case it died.
-    if (!proc_->WaitUntilOr(fresh_enough, proc_->now() + options().barrier_timeout)) {
+    if (!ctx_->WaitOr(fresh_enough, ctx_->Now() + options().barrier_timeout)) {
       monitor_->HealthCheckAndRecover();
     }
   }
-  c_ssp_wait_ns_->Add(proc_->now() - t0);
+  c_ssp_wait_ns_->Add(ctx_->Now() - t0);
 
   ProtocolChecker& checker = malt_->checker();
   if (checker.enabled()) {
@@ -181,7 +190,7 @@ void Worker::SspWait(MaltVector& v) {
         live.push_back(sender);
       }
     }
-    checker.OnSspProceed(rank_, v.segment(), v.iteration(), live, proc_->now());
+    checker.OnSspProceed(rank_, v.segment(), v.iteration(), live, ctx_->Now());
   }
 }
 
@@ -211,33 +220,74 @@ Graph Malt::BuildDataflow(const MaltOptions& options) {
   __builtin_unreachable();
 }
 
+MaltOptions Malt::Sanitize(MaltOptions options) {
+  if (options.transport == TransportKind::kShmem && options.check != CheckLevel::kOff) {
+    // The protocol checker's shadow state is not thread-safe; it validates
+    // the sim schedule only.
+    MALT_LOG_S(kWarning) << "protocol checking is sim-only; disabled under --transport=shmem";
+    options.check = CheckLevel::kOff;
+  }
+  return options;
+}
+
 Malt::Malt(MaltOptions options)
-    : options_(options),
-      engine_(),
-      telemetry_(options.ranks, options.telemetry),
-      checker_(options.check, options.ranks),
-      fabric_(engine_, options.ranks, options.fabric, &telemetry_, &checker_),
-      domain_(engine_, fabric_, options.ranks, &telemetry_),
-      dataflow_(BuildDataflow(options)),
-      recorders_(static_cast<size_t>(options.ranks)) {
-  MALT_CHECK(options.ranks >= 1) << "need at least one rank";
+    : options_(Sanitize(std::move(options))),
+      telemetry_(options_.ranks, options_.telemetry),
+      checker_(options_.check, options_.ranks),
+      dataflow_(BuildDataflow(options_)),
+      recorders_(static_cast<size_t>(options_.ranks)) {
+  MALT_CHECK(options_.ranks >= 1) << "need at least one rank";
+  if (options_.transport == TransportKind::kSim) {
+    engine_ = std::make_unique<Engine>();
+    fabric_ = std::make_unique<Fabric>(*engine_, options_.ranks, options_.fabric, &telemetry_,
+                                       &checker_);
+    transport_ = fabric_.get();
+  } else {
+    shmem_ = std::make_unique<ShmemTransport>(options_.ranks, ShmemOptions{}, &telemetry_);
+    transport_ = shmem_.get();
+  }
+  domain_ = std::make_unique<DstormDomain>(*transport_, options_.ranks, &telemetry_);
   checker_.BindTelemetry(&telemetry_);
-  checker_.SetStalenessBound(options.staleness);
+  checker_.SetStalenessBound(options_.staleness);
+}
+
+Engine& Malt::engine() {
+  MALT_CHECK(engine_ != nullptr) << "Malt::engine() is sim-transport only";
+  return *engine_;
+}
+
+Fabric& Malt::fabric() {
+  MALT_CHECK(fabric_ != nullptr) << "Malt::fabric() is sim-transport only";
+  return *fabric_;
 }
 
 void Malt::ScheduleKill(int rank, double at_seconds) {
-  engine_.ScheduleKill(rank, FromSeconds(at_seconds));
+  if (engine_ != nullptr) {
+    engine_->ScheduleKill(rank, FromSeconds(at_seconds));
+    return;
+  }
+  MALT_CHECK(!ran_) << "shmem kills must be scheduled before Run()";
+  pending_kills_.emplace_back(rank, at_seconds);
 }
 
 void Malt::Run(const std::function<void(Worker&)>& body) {
   MALT_CHECK(!ran_) << "Malt::Run called twice";
   ran_ = true;
+  if (options_.transport == TransportKind::kSim) {
+    RunSim(body);
+  } else {
+    RunShmem(body);
+  }
+}
+
+void Malt::RunSim(const std::function<void(Worker&)>& body) {
   for (int rank = 0; rank < options_.ranks; ++rank) {
-    engine_.AddProcess("rank" + std::to_string(rank), [this, rank, &body](Process& proc) {
+    engine_->AddProcess("rank" + std::to_string(rank), [this, rank, &body](Process& proc) {
       Worker worker(this, rank);
       worker.proc_ = &proc;
-      worker.dstorm_ = &domain_.node(rank);
+      worker.dstorm_ = &domain_->node(rank);
       worker.dstorm_->Bind(proc);
+      worker.ctx_ = &worker.dstorm_->ctx();
       worker.monitor_ = std::make_unique<FaultMonitor>(*worker.dstorm_, options_.fault);
       worker.recorder_ = &recorders_[static_cast<size_t>(rank)];
       worker.InitTelemetry();
@@ -248,13 +298,87 @@ void Malt::Run(const std::function<void(Worker&)>& body) {
       worker.dstorm_->FinishBarriers();
     });
   }
-  engine_.Run();
+  engine_->Run();
+}
+
+void Malt::RunShmem(const std::function<void(Worker&)>& body) {
+  const int n = options_.ranks;
+  shmem_survived_.assign(static_cast<size_t>(n), 1);
+  std::vector<std::unique_ptr<ShmemRankCtx>> ctxs;
+  ctxs.reserve(static_cast<size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    ctxs.push_back(std::make_unique<ShmemRankCtx>(rank, shmem_->clock()));
+  }
+
+  // Kill watchdog: marks the rank dead on the transport (peers see error
+  // completions at once, like a dead NIC) and raises its cancellation flag;
+  // the rank unwinds at its next cancellation point.
+  std::atomic<bool> run_done{false};
+  std::thread watchdog;
+  if (!pending_kills_.empty()) {
+    watchdog = std::thread([this, &ctxs, &run_done] {
+      std::vector<std::pair<int, double>> kills = pending_kills_;
+      std::sort(kills.begin(), kills.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      size_t next = 0;
+      while (next < kills.size() && !run_done.load(std::memory_order_acquire)) {
+        const SimTime now = shmem_->clock().NowNs();
+        if (now >= FromSeconds(kills[next].second)) {
+          const int victim = kills[next].first;
+          MALT_LOG_S(kInfo) << "watchdog: killing rank " << victim;
+          shmem_->MarkDead(victim);
+          ctxs[static_cast<size_t>(victim)]->RequestKill();
+          ++next;
+          continue;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([this, rank, &body, &ctxs] {
+      Worker worker(this, rank);
+      worker.ctx_ = ctxs[static_cast<size_t>(rank)].get();
+      worker.dstorm_ = &domain_->node(rank);
+      worker.dstorm_->BindCtx(*worker.ctx_);
+      worker.monitor_ = std::make_unique<FaultMonitor>(*worker.dstorm_, options_.fault);
+      worker.recorder_ = &recorders_[static_cast<size_t>(rank)];
+      worker.InitTelemetry();
+      try {
+        body(worker);
+        worker.dstorm_->FinishBarriers();
+      } catch (const ProcessKilled&) {
+        // Fail-stop: the rank is dead from here on; peers observe error
+        // completions and failed probes exactly as on the simulated fabric.
+        shmem_->MarkDead(rank);
+        shmem_survived_[static_cast<size_t>(rank)] = 0;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  run_done.store(true, std::memory_order_release);
+  if (watchdog.joinable()) {
+    watchdog.join();
+  }
+}
+
+bool Malt::rank_survived(int rank) const {
+  if (engine_ != nullptr) {
+    return engine_->alive(rank);
+  }
+  MALT_CHECK(!shmem_survived_.empty()) << "rank_survived before Run()";
+  return shmem_survived_[static_cast<size_t>(rank)] != 0;
 }
 
 int Malt::survivors() const {
   int alive = 0;
   for (int rank = 0; rank < options_.ranks; ++rank) {
-    alive += engine_.alive(rank) ? 1 : 0;
+    alive += rank_survived(rank) ? 1 : 0;
   }
   return alive;
 }

@@ -1,7 +1,15 @@
-// The MALT runtime: launches N model replicas (simulator processes), wires
-// the fabric / dstorm / fault monitors, and hands each replica a Worker with
-// the paper's developer API (Table 1): create vectors, scatter/gather,
-// barrier, shard data — "write code once, it runs on every replica".
+// The MALT runtime: launches N model replicas, wires the transport / dstorm /
+// fault monitors, and hands each replica a Worker with the paper's developer
+// API (Table 1): create vectors, scatter/gather, barrier, shard data — "write
+// code once, it runs on every replica".
+//
+// Two execution backends (MaltOptions::transport):
+//   - kSim: replicas are cooperative simulator processes over the Fabric
+//     (virtual time, network modeling, failure injection, protocol checking).
+//   - kShmem: replicas are real concurrent OS threads over the shared-memory
+//     transport (wall-clock time; see src/shmem/). Same worker body, same
+//     dstorm semantics; kills are delivered by a watchdog thread via
+//     cooperative cancellation.
 
 #ifndef SRC_CORE_RUNTIME_H_
 #define SRC_CORE_RUNTIME_H_
@@ -9,13 +17,16 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/comm/graph.h"
+#include "src/comm/transport.h"
 #include "src/core/options.h"
 #include "src/core/recorder.h"
 #include "src/dstorm/dstorm.h"
 #include "src/fault/monitor.h"
+#include "src/shmem/shmem_transport.h"
 #include "src/sim/engine.h"
 #include "src/simnet/fabric.h"
 #include "src/vol/accumulator.h"
@@ -31,7 +42,11 @@ class Worker {
   int rank() const { return rank_; }
   int world() const;
 
-  Process& process() { return *proc_; }
+  // Execution context (time, blocking, cancellation) — valid on both
+  // backends.
+  RankCtx& ctx() { return *ctx_; }
+  // The simulator process; only valid under the sim transport.
+  Process& process();
   Dstorm& dstorm() { return *dstorm_; }
   FaultMonitor& monitor() { return *monitor_; }
   Recorder& recorder() { return *recorder_; }
@@ -39,7 +54,7 @@ class Worker {
   const MaltOptions& options() const;
 
   // Figure 8 phase accounting: wrap each section of the training loop in a
-  // PhaseScope and the runtime charges its virtual duration to the matching
+  // PhaseScope and the runtime charges its duration to the matching
   // worker.{compute,scatter,gather,barrier}_ns counter and emits a B/E trace
   // span — so the compute/communication breakdown comes from the runtime
   // itself, not from app-local stopwatches.
@@ -57,10 +72,12 @@ class Worker {
     SimTime t0_;
   };
 
-  // Virtual time.
-  SimTime now() const { return proc_->now(); }
-  double now_seconds() const { return ToSeconds(proc_->now()); }
-  // Charges modeled compute time for `flops` floating-point operations.
+  // Time on the run's clock: virtual under sim, wall-clock under shmem.
+  SimTime now() const { return ctx_->Now(); }
+  double now_seconds() const { return ToSeconds(ctx_->Now()); }
+  // Charges modeled compute time for `flops` floating-point operations
+  // (virtual-time advance under sim; a cancellation point under shmem, where
+  // the compute itself already took wall time).
   void ChargeFlops(double flops);
   void ChargeSeconds(double seconds);
 
@@ -106,7 +123,8 @@ class Worker {
 
   Malt* malt_;
   int rank_;
-  Process* proc_ = nullptr;
+  RankCtx* ctx_ = nullptr;
+  Process* proc_ = nullptr;  // sim transport only
   Dstorm* dstorm_ = nullptr;
   std::unique_ptr<FaultMonitor> monitor_;
   Recorder* recorder_ = nullptr;
@@ -121,9 +139,13 @@ class Malt {
   explicit Malt(MaltOptions options);
 
   const MaltOptions& options() const { return options_; }
-  Engine& engine() { return engine_; }
-  Fabric& fabric() { return fabric_; }
-  const TrafficStats& traffic() const { return fabric_.stats(); }
+
+  // The active transport (Fabric or ShmemTransport, per options).
+  Transport& transport() { return *transport_; }
+  // Sim-backend internals; abort if the run uses another transport.
+  Engine& engine();
+  Fabric& fabric();
+  const TrafficStats& traffic() const { return transport_->stats(); }
 
   // Cluster telemetry: every layer of every rank (fabric, dstorm, fault,
   // VOL, worker) records into this domain. Use MetricsJson()/TraceJson()
@@ -133,13 +155,16 @@ class Malt {
 
   // The protocol checker validating this run (level MaltOptions::check; an
   // off-level checker still answers queries, it just never recorded events).
+  // Checking is sim-only: under the shmem transport the level is forced off.
   ProtocolChecker& checker() { return checker_; }
   const ProtocolChecker& checker() const { return checker_; }
 
   // The dataflow graph selected by options (what CreateVector uses).
   const Graph& dataflow() const { return dataflow_; }
 
-  // Schedules a fail-stop kill of `rank` at virtual time `at_seconds`.
+  // Schedules a fail-stop kill of `rank` at `at_seconds` on the run's clock
+  // (virtual seconds under sim; wall-clock seconds after Run() starts under
+  // shmem, delivered by the watchdog at the rank's next cancellation point).
   void ScheduleKill(int rank, double at_seconds);
 
   // Runs `body` on every rank; returns when all replicas finish (or die).
@@ -149,20 +174,27 @@ class Malt {
   // Post-run accessors.
   Recorder& recorder(int rank) { return recorders_[static_cast<size_t>(rank)]; }
   const std::vector<Recorder>& recorders() const { return recorders_; }
-  bool rank_survived(int rank) const { return engine_.alive(rank); }
+  bool rank_survived(int rank) const;
   int survivors() const;
 
  private:
   static Graph BuildDataflow(const MaltOptions& options);
+  static MaltOptions Sanitize(MaltOptions options);
+  void RunSim(const std::function<void(Worker&)>& body);
+  void RunShmem(const std::function<void(Worker&)>& body);
 
   MaltOptions options_;
-  Engine engine_;
   TelemetryDomain telemetry_;
-  ProtocolChecker checker_;  // must outlive fabric_ (fabric holds a pointer)
-  Fabric fabric_;
-  DstormDomain domain_;
+  ProtocolChecker checker_;  // must outlive the transport (it holds a pointer)
+  std::unique_ptr<Engine> engine_;          // sim only
+  std::unique_ptr<Fabric> fabric_;          // sim only
+  std::unique_ptr<ShmemTransport> shmem_;   // shmem only
+  Transport* transport_ = nullptr;
+  std::unique_ptr<DstormDomain> domain_;
   Graph dataflow_;
   std::vector<Recorder> recorders_;
+  std::vector<std::pair<int, double>> pending_kills_;  // shmem: (rank, at_seconds)
+  std::vector<char> shmem_survived_;  // per-rank flags; each written by one thread
   bool ran_ = false;
 };
 

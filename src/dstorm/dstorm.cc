@@ -36,22 +36,24 @@ void StoreU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
 
 // --- DstormDomain -----------------------------------------------------------
 
-DstormDomain::DstormDomain(Engine& engine, Fabric& fabric, int nodes, TelemetryDomain* telemetry)
-    : engine_(engine), fabric_(fabric) {
-  TelemetryDomain* tel = telemetry == nullptr ? &fabric.telemetry() : telemetry;
+DstormDomain::DstormDomain(Transport& transport, int nodes, TelemetryDomain* telemetry)
+    : transport_(transport) {
+  TelemetryDomain* tel = telemetry == nullptr ? &transport.telemetry() : telemetry;
   MALT_CHECK(tel->ranks() >= nodes) << "telemetry domain smaller than dstorm domain";
   nodes_.reserve(static_cast<size_t>(nodes));
   for (int rank = 0; rank < nodes; ++rank) {
     nodes_.push_back(std::unique_ptr<Dstorm>(
-        new Dstorm(this, &engine_, &fabric_, rank, nodes, &tel->rank(rank))));
+        new Dstorm(this, &transport_, rank, nodes, &tel->rank(rank))));
   }
   // rkey 0 on every node: the barrier counter array; rkey 1: probe scratch.
+  // Both are arrays of independently-written aligned u64 words — no striped
+  // guard needed (word writes cannot tear).
   for (int rank = 0; rank < nodes; ++rank) {
-    MrHandle mr = fabric_.RegisterMemory(rank, static_cast<size_t>(nodes) * sizeof(uint64_t));
+    MrHandle mr = transport_.RegisterMemory(rank, static_cast<size_t>(nodes) * sizeof(uint64_t));
     MALT_CHECK(mr.rkey == 0) << "barrier region must be rkey 0";
     nodes_[static_cast<size_t>(rank)]->barrier_mr_ = mr;
     MrHandle probe =
-        fabric_.RegisterMemory(rank, static_cast<size_t>(nodes) * sizeof(uint64_t));
+        transport_.RegisterMemory(rank, static_cast<size_t>(nodes) * sizeof(uint64_t));
     MALT_CHECK(probe.rkey == 1) << "probe region must be rkey 1";
     nodes_[static_cast<size_t>(rank)]->probe_mr_ = probe;
   }
@@ -59,11 +61,10 @@ DstormDomain::DstormDomain(Engine& engine, Fabric& fabric, int nodes, TelemetryD
 
 // --- Dstorm -----------------------------------------------------------------
 
-Dstorm::Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world,
+Dstorm::Dstorm(DstormDomain* domain, Transport* transport, int rank, int world,
                RankTelemetry* telemetry)
     : domain_(domain),
-      engine_(engine),
-      fabric_(fabric),
+      transport_(transport),
       rank_(rank),
       world_(world),
       telemetry_(telemetry),
@@ -86,14 +87,41 @@ Dstorm::Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, i
   c_send_stall_ns_ = reg.GetCounter("fabric.send_queue_stall_ns");
 }
 
+void Dstorm::Bind(Process& proc) {
+  proc_ = &proc;
+  owned_ctx_ = std::make_unique<SimProcessCtx>(proc);
+  ctx_ = owned_ctx_.get();
+}
+
+void Dstorm::BindCtx(RankCtx& ctx) {
+  proc_ = nullptr;
+  owned_ctx_.reset();
+  ctx_ = &ctx;
+}
+
+Process& Dstorm::process() const {
+  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a simulator process";
+  return *proc_;
+}
+
+Dstorm::Segment& Dstorm::GetSegment(SegmentId seg) {
+  std::lock_guard<std::mutex> lock(domain_->mu_);
+  return segments_[static_cast<size_t>(seg)];
+}
+
+const Dstorm::Segment& Dstorm::GetSegment(SegmentId seg) const {
+  std::lock_guard<std::mutex> lock(domain_->mu_);
+  return segments_[static_cast<size_t>(seg)];
+}
+
 void Dstorm::WaitForSendRoom() {
-  if (fabric_->HasSendRoom(rank_)) {
+  if (transport_->HasSendRoom(rank_)) {
     return;
   }
-  const SimTime t0 = proc_->now();
-  proc_->WaitUntil([this] { return fabric_->HasSendRoom(rank_); });
+  const SimTime t0 = ctx_->Now();
+  ctx_->Wait([this] { return transport_->HasSendRoom(rank_); });
   c_send_stalls_->Add(1);
-  c_send_stall_ns_->Add(proc_->now() - t0);
+  c_send_stall_ns_->Add(ctx_->Now() - t0);
 }
 
 size_t Dstorm::SlotOffset(const Segment& s, int sender_pos, int slot) const {
@@ -117,22 +145,28 @@ SegmentId Dstorm::CreateSegment(const SegmentOptions& options) {
 
   // Collective registry: the first caller defines the spec and registers the
   // receive region on *every* node (the paper's synchronous segment
-  // creation), so remote-key layout is identical cluster-wide.
+  // creation), so remote-key layout is identical cluster-wide. The domain
+  // mutex serializes racing creators under the shmem transport; a later
+  // caller's lock acquisition orders the first creator's appends before its
+  // own data-plane use.
+  std::lock_guard<std::mutex> lock(domain_->mu_);
   if (static_cast<size_t>(seg_id) >= domain_->specs_.size()) {
     DstormDomain::SegmentSpec spec;
     spec.options = options;
     domain_->specs_.push_back(spec);
     for (int node = 0; node < world_; ++node) {
       // Receive space: one queue per in-neighbor only (a star topology's
-      // leaves keep just one queue instead of world-many).
+      // leaves keep just one queue instead of world-many). Each slot is its
+      // own guard stripe: concurrent senders own disjoint slots, so stripes
+      // never see two writers.
       const size_t in_degree = options.graph.InEdges(node).size();
       const size_t region_bytes =
           in_degree * static_cast<size_t>(options.queue_depth) * stride;
-      MrHandle mr = fabric_->RegisterMemory(node, region_bytes);
+      MrHandle mr = transport_->RegisterMemory(node, region_bytes, stride);
       MALT_CHECK(mr.rkey == static_cast<uint32_t>(seg_id) + 2)
           << "segment rkey layout diverged on node " << node;
-      if (!fabric_->NodeAlive(node)) {
-        fabric_->DeregisterMemory(mr);
+      if (!transport_->NodeAlive(node)) {
+        transport_->DeregisterMemory(mr);
       }
       domain_->nodes_[static_cast<size_t>(node)]->segments_.push_back(Segment{});
       Segment& s = domain_->nodes_[static_cast<size_t>(node)]->segments_.back();
@@ -152,7 +186,7 @@ SegmentId Dstorm::CreateSegment(const SegmentOptions& options) {
       s.next_send_seq.assign(static_cast<size_t>(world_), 0);
       s.next_send_slot.assign(static_cast<size_t>(world_), 0);
       s.last_consumed.assign(static_cast<size_t>(world_), 0);
-      ProtocolChecker& checker = fabric_->checker();
+      ProtocolChecker& checker = transport_->checker();
       if (checker.enabled()) {
         ProtocolChecker::SegmentLayout layout;
         layout.slot_stride = stride;
@@ -176,20 +210,22 @@ SegmentId Dstorm::CreateAccumulator(size_t dim, const Graph& graph) {
   MALT_CHECK(dim > 0) << "accumulator needs dim > 0";
   MALT_CHECK(graph.size() == world_) << "accumulator graph size mismatch";
   const SegmentId seg_id = created_count_++;
-  // Region: dim sum floats + 1 contribution-count float.
+  // Region: dim sum floats + 1 contribution-count float. No striped guard:
+  // accumulators are add-only (element-wise atomic adds) until drained.
   const size_t region_bytes = (dim + 1) * sizeof(float);
 
+  std::lock_guard<std::mutex> lock(domain_->mu_);
   if (static_cast<size_t>(seg_id) >= domain_->specs_.size()) {
     DstormDomain::SegmentSpec spec;
     spec.options.obj_bytes = dim * sizeof(float);
     spec.options.graph = graph;
     domain_->specs_.push_back(spec);
     for (int node = 0; node < world_; ++node) {
-      MrHandle mr = fabric_->RegisterMemory(node, region_bytes);
+      MrHandle mr = transport_->RegisterMemory(node, region_bytes);
       MALT_CHECK(mr.rkey == static_cast<uint32_t>(seg_id) + 2)
           << "segment rkey layout diverged on node " << node;
-      if (!fabric_->NodeAlive(node)) {
-        fabric_->DeregisterMemory(mr);
+      if (!transport_->NodeAlive(node)) {
+        transport_->DeregisterMemory(mr);
       }
       domain_->nodes_[static_cast<size_t>(node)]->segments_.push_back(Segment{});
       Segment& s = domain_->nodes_[static_cast<size_t>(node)]->segments_.back();
@@ -208,8 +244,8 @@ SegmentId Dstorm::CreateAccumulator(size_t dim, const Graph& graph) {
 }
 
 Status Dstorm::ScatterAdd(SegmentId seg, std::span<const float> values) {
-  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
-  Segment& s = segments_[static_cast<size_t>(seg)];
+  MALT_CHECK(ctx_ != nullptr) << "Dstorm not bound to an execution context";
+  Segment& s = GetSegment(seg);
   if (!s.accumulator) {
     return FailedPreconditionError("ScatterAdd requires an accumulator segment");
   }
@@ -226,7 +262,7 @@ Status Dstorm::ScatterAdd(SegmentId seg, std::span<const float> values) {
     }
     WaitForSendRoom();
     const MrHandle dst_mr{dst, static_cast<uint32_t>(seg) + 2};
-    Result<uint64_t> posted = fabric_->PostFloatAdd(rank_, proc_->now(), dst_mr, 0, wire);
+    Result<uint64_t> posted = transport_->PostFloatAdd(rank_, ctx_->Now(), dst_mr, 0, wire);
     if (!posted.ok() && first_error.ok()) {
       first_error = posted.status();
     }
@@ -240,21 +276,16 @@ Status Dstorm::ScatterAdd(SegmentId seg, std::span<const float> values) {
 }
 
 int64_t Dstorm::DrainAccumulator(SegmentId seg, std::span<float> out) {
-  Segment& s = segments_[static_cast<size_t>(seg)];
+  Segment& s = GetSegment(seg);
   MALT_CHECK(s.accumulator) << "DrainAccumulator requires an accumulator segment";
   const size_t dim = s.options.obj_bytes / sizeof(float);
   MALT_CHECK(out.size() == dim) << "DrainAccumulator size mismatch";
-  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
-  auto* floats = reinterpret_cast<float*>(mem.data());
-  std::memcpy(out.data(), floats, dim * sizeof(float));
-  const int64_t count = static_cast<int64_t>(floats[dim]);
-  std::memset(mem.data(), 0, (dim + 1) * sizeof(float));
-  return count;
+  return transport_->DrainFloatRegion(s.recv_mr, out);
 }
 
 Status Dstorm::PostObject(SegmentId seg, int dst, std::span<const std::byte> payload,
                           uint32_t iter) {
-  Segment& s = segments_[static_cast<size_t>(seg)];
+  Segment& s = GetSegment(seg);
   if (payload.size() > s.options.obj_bytes) {
     return InvalidArgumentError("payload exceeds segment object size");
   }
@@ -285,7 +316,7 @@ Status Dstorm::PostObject(SegmentId seg, int dst, std::span<const std::byte> pay
 
   const MrHandle dst_mr{dst, static_cast<uint32_t>(seg) + 2};
   const size_t offset = SlotOffset(s, sender_pos, slot);
-  Result<uint64_t> posted = fabric_->PostWrite(rank_, proc_->now(), dst_mr, offset, wire);
+  Result<uint64_t> posted = transport_->PostWrite(rank_, ctx_->Now(), dst_mr, offset, wire);
   if (!posted.ok()) {
     return posted.status();
   }
@@ -294,7 +325,7 @@ Status Dstorm::PostObject(SegmentId seg, int dst, std::span<const std::byte> pay
 }
 
 Status Dstorm::Scatter(SegmentId seg, std::span<const std::byte> payload, uint32_t iter) {
-  const Segment& s = segments_[static_cast<size_t>(seg)];
+  const Segment& s = GetSegment(seg);
   std::vector<int> dsts;
   for (int dst : s.options.graph.OutEdges(rank_)) {
     if (group_member_[static_cast<size_t>(dst)]) {
@@ -306,7 +337,7 @@ Status Dstorm::Scatter(SegmentId seg, std::span<const std::byte> payload, uint32
 
 Status Dstorm::ScatterTo(SegmentId seg, std::span<const int> dsts,
                          std::span<const std::byte> payload, uint32_t iter) {
-  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  MALT_CHECK(ctx_ != nullptr) << "Dstorm not bound to an execution context";
   Status first_error;
   for (int dst : dsts) {
     if (!group_member_[static_cast<size_t>(dst)]) {
@@ -323,15 +354,24 @@ Status Dstorm::ScatterTo(SegmentId seg, std::span<const int> dsts,
 }
 
 int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& consume) {
-  Segment& s = segments_[static_cast<size_t>(seg)];
-  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
+  Segment& s = GetSegment(seg);
   int consumed = 0;
 
-  ProtocolChecker& checker = fabric_->checker();
+  ProtocolChecker& checker = transport_->checker();
   const bool checking = checker.enabled();
-  const SimTime check_now = proc_ != nullptr ? proc_->now() : engine_->now();
+  const SimTime check_now = ctx_ != nullptr ? ctx_->Now() : transport_->now();
 
   const auto& in_edges = s.options.graph.InEdges(rank_);
+  const int depth = s.options.queue_depth;
+  MALT_CHECK(depth <= 16) << "queue depth > 16 unsupported";
+  // Snapshot arena: each candidate slot's payload + back stamp is copied out
+  // through Transport::Read (torn-read detecting) before consume() ever sees
+  // it, so under the shmem transport a sender overwriting the slot mid-read
+  // is detected rather than observed. The arena lives on the segment because
+  // RecvObject spans must stay valid after Gather returns (deferred folding).
+  const size_t arena_stride = AlignUp8(s.options.obj_bytes + sizeof(uint64_t));
+  s.gather_arena.resize(in_edges.size() * static_cast<size_t>(depth) * arena_stride);
+
   for (size_t pos = 0; pos < in_edges.size(); ++pos) {
     const int sender = in_edges[pos];
     if (!group_member_[static_cast<size_t>(sender)]) {
@@ -346,21 +386,32 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
     };
     Fresh fresh[16];
     int fresh_count = 0;
-    const int depth = s.options.queue_depth;
-    MALT_CHECK(depth <= 16) << "queue depth > 16 unsupported";
     for (int slot = 0; slot < depth; ++slot) {
-      const std::byte* base = mem.data() + SlotOffset(s, static_cast<int>(pos), slot);
-      const uint64_t seq_front = LoadU64(base + kSeqFrontOff);
-      const uint32_t bytes = LoadU32(base + kBytesOff);
+      const size_t base_off = SlotOffset(s, static_cast<int>(pos), slot);
+      std::byte header[kPayloadOff];
+      if (!transport_->Read(s.recv_mr, base_off, header)) {
+        c_torn_skipped_->Add(1);
+        continue;  // overwrite in flight (shmem); the simulator never fails
+      }
+      const uint64_t seq_front = LoadU64(header + kSeqFrontOff);
+      const uint32_t bytes = LoadU32(header + kBytesOff);
       if (seq_front == 0 || bytes > s.options.obj_bytes) {
         continue;  // never written, or header mid-write
       }
-      const uint64_t seq_back = LoadU64(base + kPayloadOff + bytes);
+      std::byte* snap = s.gather_arena.data() +
+                        (pos * static_cast<size_t>(depth) + static_cast<size_t>(slot)) *
+                            arena_stride;
+      if (!transport_->Read(s.recv_mr, base_off + kPayloadOff,
+                            std::span<std::byte>(snap, bytes + sizeof(uint64_t)))) {
+        c_torn_skipped_->Add(1);
+        continue;
+      }
+      const uint64_t seq_back = LoadU64(snap + bytes);
       if (seq_front != seq_back) {
         c_torn_skipped_->Add(1);
         if (checking) {
           checker.OnSlotRead(rank_, s.recv_mr.rkey, static_cast<int>(pos), slot, seq_front,
-                             seq_back, LoadU32(base + kIterOff), {},
+                             seq_back, LoadU32(header + kIterOff), {},
                              ProtocolChecker::ReadAction::kSkippedTorn, check_now);
         }
         continue;  // torn (write in flight) — skip, the paper's atomic gather
@@ -368,23 +419,26 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
       if (seq_front <= s.last_consumed[static_cast<size_t>(sender)]) {
         if (checking) {
           checker.OnSlotRead(rank_, s.recv_mr.rkey, static_cast<int>(pos), slot, seq_front,
-                             seq_back, LoadU32(base + kIterOff), {},
+                             seq_back, LoadU32(header + kIterOff), {},
                              ProtocolChecker::ReadAction::kSkippedStale, check_now);
         }
         continue;  // already folded
       }
-      fresh[fresh_count++] = Fresh{seq_front, slot, LoadU32(base + kIterOff), bytes};
+      fresh[fresh_count++] = Fresh{seq_front, slot, LoadU32(header + kIterOff), bytes};
     }
     std::sort(fresh, fresh + fresh_count,
               [](const Fresh& a, const Fresh& b) { return a.seq < b.seq; });
     for (int i = 0; i < fresh_count; ++i) {
-      const std::byte* base = mem.data() + SlotOffset(s, static_cast<int>(pos), fresh[i].slot);
+      const std::byte* snap =
+          s.gather_arena.data() +
+          (pos * static_cast<size_t>(depth) + static_cast<size_t>(fresh[i].slot)) *
+              arena_stride;
       RecvObject obj;
       obj.sender = sender;
       obj.iter = fresh[i].iter;
-      obj.bytes = std::span<const std::byte>(base + kPayloadOff, fresh[i].bytes);
+      obj.bytes = std::span<const std::byte>(snap, fresh[i].bytes);
       if (checking) {
-        // Stamps were validated equal in the scan above; no yield since.
+        // Stamps were validated equal in the snapshot above.
         checker.OnSlotRead(rank_, s.recv_mr.rkey, static_cast<int>(pos), fresh[i].slot,
                            fresh[i].seq, fresh[i].seq, fresh[i].iter, obj.bytes,
                            ProtocolChecker::ReadAction::kConsumed, check_now);
@@ -410,33 +464,39 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
 }
 
 int64_t Dstorm::PeerIteration(SegmentId seg, int sender) const {
-  const Segment& s = segments_[static_cast<size_t>(seg)];
+  const Segment& s = GetSegment(seg);
   const auto& in_edges = s.options.graph.InEdges(rank_);
   const auto it = std::find(in_edges.begin(), in_edges.end(), sender);
   if (it == in_edges.end()) {
     return -1;  // not an in-neighbor: nothing can ever arrive from it
   }
   const int pos = static_cast<int>(it - in_edges.begin());
-  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
   int64_t best = -1;
   for (int slot = 0; slot < s.options.queue_depth; ++slot) {
-    const std::byte* base = mem.data() + SlotOffset(s, pos, slot);
-    const uint64_t seq_front = LoadU64(base + kSeqFrontOff);
-    const uint32_t bytes = LoadU32(base + kBytesOff);
+    const size_t base_off = SlotOffset(s, pos, slot);
+    std::byte header[kPayloadOff];
+    if (!transport_->Read(s.recv_mr, base_off, header)) {
+      continue;  // overwrite in flight; the stamp will be visible next poll
+    }
+    const uint64_t seq_front = LoadU64(header + kSeqFrontOff);
+    const uint32_t bytes = LoadU32(header + kBytesOff);
     if (seq_front == 0 || bytes > s.options.obj_bytes) {
       continue;
     }
-    if (seq_front != LoadU64(base + kPayloadOff + bytes)) {
+    std::byte trailer[sizeof(uint64_t)];
+    if (!transport_->Read(s.recv_mr, base_off + kPayloadOff + bytes, trailer)) {
       continue;
     }
-    best = std::max(best, static_cast<int64_t>(LoadU32(base + kIterOff)));
+    if (seq_front != LoadU64(trailer)) {
+      continue;
+    }
+    best = std::max(best, static_cast<int64_t>(LoadU32(header + kIterOff)));
   }
   return best;
 }
 
 bool Dstorm::FreshAvailable(SegmentId seg) const {
-  const Segment& s = segments_[static_cast<size_t>(seg)];
-  std::span<std::byte> mem = fabric_->Data(s.recv_mr);
+  const Segment& s = GetSegment(seg);
   const auto& in_edges = s.options.graph.InEdges(rank_);
   for (size_t pos = 0; pos < in_edges.size(); ++pos) {
     const int sender = in_edges[pos];
@@ -444,13 +504,21 @@ bool Dstorm::FreshAvailable(SegmentId seg) const {
       continue;
     }
     for (int slot = 0; slot < s.options.queue_depth; ++slot) {
-      const std::byte* base = mem.data() + SlotOffset(s, static_cast<int>(pos), slot);
-      const uint64_t seq_front = LoadU64(base + kSeqFrontOff);
-      const uint32_t bytes = LoadU32(base + kBytesOff);
+      const size_t base_off = SlotOffset(s, static_cast<int>(pos), slot);
+      std::byte header[kPayloadOff];
+      if (!transport_->Read(s.recv_mr, base_off, header)) {
+        continue;
+      }
+      const uint64_t seq_front = LoadU64(header + kSeqFrontOff);
+      const uint32_t bytes = LoadU32(header + kBytesOff);
       if (seq_front == 0 || bytes > s.options.obj_bytes) {
         continue;
       }
-      if (seq_front == LoadU64(base + kPayloadOff + bytes) &&
+      std::byte trailer[sizeof(uint64_t)];
+      if (!transport_->Read(s.recv_mr, base_off + kPayloadOff + bytes, trailer)) {
+        continue;
+      }
+      if (seq_front == LoadU64(trailer) &&
           seq_front > s.last_consumed[static_cast<size_t>(sender)]) {
         return true;
       }
@@ -459,14 +527,12 @@ bool Dstorm::FreshAvailable(SegmentId seg) const {
   return false;
 }
 
-int64_t Dstorm::LostUpdates(SegmentId seg) const {
-  return segments_[static_cast<size_t>(seg)].lost_updates;
-}
+int64_t Dstorm::LostUpdates(SegmentId seg) const { return GetSegment(seg).lost_updates; }
 
 void Dstorm::DrainCompletions() {
   Completion batch[32];
   for (;;) {
-    const int n = fabric_->PollCq(rank_, batch);
+    const int n = transport_->PollCq(rank_, batch);
     if (n == 0) {
       return;
     }
@@ -487,11 +553,11 @@ void Dstorm::DrainCompletions() {
 }
 
 Status Dstorm::Flush() {
-  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
-  const SimTime t0 = proc_->now();
-  proc_->WaitUntil([this] { return fabric_->OutstandingWrites(rank_) == 0; });
+  MALT_CHECK(ctx_ != nullptr) << "Dstorm not bound to an execution context";
+  const SimTime t0 = ctx_->Now();
+  ctx_->Wait([this] { return transport_->OutstandingWrites(rank_) == 0; });
   c_flushes_->Add(1);
-  c_flush_ns_->Add(proc_->now() - t0);
+  c_flush_ns_->Add(ctx_->Now() - t0);
   DrainCompletions();
   return failed_unreported_.empty()
              ? OkStatus()
@@ -499,7 +565,7 @@ Status Dstorm::Flush() {
 }
 
 bool Dstorm::ProbePeer(int peer) {
-  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  MALT_CHECK(ctx_ != nullptr) << "Dstorm not bound to an execution context";
   if (peer == rank_) {
     return true;
   }
@@ -511,15 +577,15 @@ bool Dstorm::ProbePeer(int peer) {
   c_probes_->Add(1);
   WaitForSendRoom();
   const MrHandle dst_mr{peer, 1};
-  Result<uint64_t> posted = fabric_->PostWrite(rank_, proc_->now(), dst_mr,
-                                               static_cast<size_t>(rank_) * sizeof(uint64_t),
-                                               wire);
+  Result<uint64_t> posted = transport_->PostWrite(rank_, ctx_->Now(), dst_mr,
+                                                  static_cast<size_t>(rank_) * sizeof(uint64_t),
+                                                  wire);
   if (!posted.ok()) {
     return false;
   }
   // Wait for this probe (and anything before it) to complete, then inspect
   // the failure record.
-  proc_->WaitUntil([this] { return fabric_->OutstandingWrites(rank_) == 0; });
+  ctx_->Wait([this] { return transport_->OutstandingWrites(rank_) == 0; });
   DrainCompletions();
   return !peer_failed_[static_cast<size_t>(peer)];
 }
@@ -556,55 +622,53 @@ Status Dstorm::Barrier(SimDuration timeout) {
 }
 
 void Dstorm::FinishBarriers() {
-  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  MALT_CHECK(ctx_ != nullptr) << "Dstorm not bound to an execution context";
   constexpr uint64_t kFinished = std::numeric_limits<uint64_t>::max();
   // Like OnBarrierEnter in BarrierResume, this must precede the counter
   // writes: a peer's barrier can complete on our "finished" counter the
   // instant it applies, before our completions return.
-  fabric_->checker().OnRankFinished(rank_);
-  std::span<std::byte> my_counters = fabric_->Data(barrier_mr_);
-  StoreU64(my_counters.data() + static_cast<size_t>(rank_) * sizeof(uint64_t), kFinished);
+  transport_->checker().OnRankFinished(rank_);
   std::byte wire[sizeof(uint64_t)];
   StoreU64(wire, kFinished);
+  transport_->Write(barrier_mr_, static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
   for (int member : GroupMembers()) {
     if (member == rank_) {
       continue;
     }
     WaitForSendRoom();
     const MrHandle dst_mr{member, 0};
-    (void)fabric_->PostWrite(rank_, proc_->now(), dst_mr,
-                             static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
+    (void)transport_->PostWrite(rank_, ctx_->Now(), dst_mr,
+                                static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
   }
-  // Drain so the writes are on the wire before this process exits.
-  proc_->WaitUntil([this] { return fabric_->OutstandingWrites(rank_) == 0; });
+  // Drain so the writes are on the wire before this rank exits.
+  ctx_->Wait([this] { return transport_->OutstandingWrites(rank_) == 0; });
   DrainCompletions();
 }
 
 Status Dstorm::BarrierResume(SimDuration timeout) {
-  MALT_CHECK(proc_ != nullptr) << "Dstorm not bound to a process";
+  MALT_CHECK(ctx_ != nullptr) << "Dstorm not bound to an execution context";
   const uint64_t round = barrier_round_;
 
-  ProtocolChecker& checker = fabric_->checker();
+  ProtocolChecker& checker = transport_->checker();
   if (checker.enabled()) {
     // Enter precedes the arrival writes below, so no peer can observe (and
     // exit on) this round before the checker knows we entered it.
-    checker.OnBarrierEnter(rank_, round, proc_->now());
+    checker.OnBarrierEnter(rank_, round, ctx_->Now());
   }
 
   // Publish my arrival: local store for my own slot, one-sided writes to the
   // rest of the group.
-  std::span<std::byte> my_counters = fabric_->Data(barrier_mr_);
-  StoreU64(my_counters.data() + static_cast<size_t>(rank_) * sizeof(uint64_t), round);
   std::byte wire[sizeof(uint64_t)];
   StoreU64(wire, round);
+  transport_->Write(barrier_mr_, static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
   for (int member : GroupMembers()) {
     if (member == rank_) {
       continue;
     }
     WaitForSendRoom();
     const MrHandle dst_mr{member, 0};
-    Result<uint64_t> posted = fabric_->PostWrite(
-        rank_, proc_->now(), dst_mr, static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
+    Result<uint64_t> posted = transport_->PostWrite(
+        rank_, ctx_->Now(), dst_mr, static_cast<size_t>(rank_) * sizeof(uint64_t), wire);
     if (!posted.ok()) {
       return posted.status();
     }
@@ -613,14 +677,19 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
   // Wait for every (current) group member to reach this round. The predicate
   // re-reads the membership list so a concurrent RemoveFromGroup (fault
   // recovery on this node) lets the barrier complete with the survivors.
-  auto arrived = [this, round, my_counters] {
+  // Counters are read through the transport so peers' word-atomic arrival
+  // writes are observed race-free under the shmem backend.
+  auto arrived = [this, round] {
     for (int member = 0; member < world_; ++member) {
       if (!group_member_[static_cast<size_t>(member)] || member == rank_) {
         continue;
       }
-      const uint64_t seen =
-          LoadU64(my_counters.data() + static_cast<size_t>(member) * sizeof(uint64_t));
-      if (seen < round) {
+      std::byte seen_wire[sizeof(uint64_t)];
+      if (!transport_->Read(barrier_mr_, static_cast<size_t>(member) * sizeof(uint64_t),
+                            seen_wire)) {
+        return false;  // counter word mid-write: not arrived yet
+      }
+      if (LoadU64(seen_wire) < round) {
         return false;
       }
     }
@@ -628,15 +697,15 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
   };
 
   if (timeout <= 0) {
-    proc_->WaitUntil(arrived);
+    ctx_->Wait(arrived);
     DrainCompletions();
     if (checker.enabled()) {
       const std::vector<int> members = GroupMembers();
-      checker.OnBarrierExit(rank_, round, members, proc_->now());
+      checker.OnBarrierExit(rank_, round, members, ctx_->Now());
     }
     return OkStatus();
   }
-  const bool ok = proc_->WaitUntilOr(arrived, proc_->now() + timeout);
+  const bool ok = ctx_->WaitOr(arrived, ctx_->Now() + timeout);
   DrainCompletions();
   if (!ok) {
     c_barrier_timeouts_->Add(1);
@@ -644,7 +713,7 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
   }
   if (checker.enabled()) {
     const std::vector<int> members = GroupMembers();
-    checker.OnBarrierExit(rank_, round, members, proc_->now());
+    checker.OnBarrierExit(rank_, round, members, ctx_->Now());
   }
   return OkStatus();
 }

@@ -15,21 +15,30 @@
 // Overwrite-on-full: a sender that laps the reader simply overwrites its
 // oldest slot; Gather folds only not-yet-consumed consistent slots, newest
 // last, per sender.
+//
+// dstorm is transport-agnostic: it programs against Transport/RankCtx
+// (src/comm/transport.h) and runs unchanged over the discrete-event simulator
+// (Fabric + Process) or real concurrent threads (ShmemTransport +
+// ShmemRankCtx). All receive-side polling goes through Transport::Read, which
+// reports concurrent overwrites as torn — on the simulator it degenerates to
+// a plain copy.
 
 #ifndef SRC_DSTORM_DSTORM_H_
 #define SRC_DSTORM_DSTORM_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/base/time_units.h"
 #include "src/comm/graph.h"
+#include "src/comm/transport.h"
 #include "src/sim/engine.h"
-#include "src/simnet/fabric.h"
 
 namespace malt {
 
@@ -44,33 +53,68 @@ struct SegmentOptions {
 // One object received by Gather.
 struct RecvObject {
   int sender = -1;
-  uint32_t iter = 0;                 // sender's iteration stamp
-  std::span<const std::byte> bytes;  // valid only during the Gather callback
+  uint32_t iter = 0;  // sender's iteration stamp
+  // Points into the segment's snapshot arena: valid until the next Gather on
+  // the same segment (callers may defer folding past the callback).
+  std::span<const std::byte> bytes;
+};
+
+// RankCtx over a simulator Process: virtual time, cooperative scheduling.
+class SimProcessCtx : public RankCtx {
+ public:
+  explicit SimProcessCtx(Process& proc) : proc_(proc) {}
+
+  SimTime Now() const override { return proc_.now(); }
+  void Advance(SimDuration dt) override { proc_.Advance(dt); }
+  void Yield() override { proc_.Yield(); }
+  void Wait(const std::function<bool()>& pred) override { proc_.WaitUntil(pred); }
+  bool WaitOr(const std::function<bool()>& pred, SimTime deadline) override {
+    return proc_.WaitUntilOr(pred, deadline);
+  }
+  [[noreturn]] void KillSelf() override {
+    proc_.engine().ScheduleKill(proc_.pid(), proc_.now());
+    proc_.Yield();  // the engine delivers the kill here (throws ProcessKilled)
+    throw ProcessKilled{proc_.pid()};  // unreachable; satisfies [[noreturn]]
+  }
+
+ private:
+  Process& proc_;
 };
 
 class DstormDomain;
 
-// Per-node endpoint. All calls must come from the bound process.
+// Per-node endpoint. All calls must come from the bound rank's
+// process/thread.
 class Dstorm {
  public:
   int rank() const { return rank_; }
   int world() const { return world_; }
 
-  // Binds this endpoint to its simulator process; required before use.
-  void Bind(Process& proc) { proc_ = &proc; }
-  Process& process() const { return *proc_; }
-  bool bound() const { return proc_ != nullptr; }
+  // Binds this endpoint to its simulator process; required before use on the
+  // sim transport. (Wraps the process in a SimProcessCtx.)
+  void Bind(Process& proc);
+  // Binds to an externally-owned execution context (the shmem runtime's
+  // per-thread ShmemRankCtx).
+  void BindCtx(RankCtx& ctx);
+
+  bool bound() const { return ctx_ != nullptr; }
+  RankCtx& ctx() const { return *ctx_; }
+  // The simulator process, when bound via Bind() (sim-only callers:
+  // parameter-server baseline, engine-level tests).
+  Process& process() const;
 
   // This rank's telemetry bundle (metric registry + trace ring). Higher
   // layers (VOL, fault monitor) instrument through this.
   RankTelemetry& telemetry() const { return *telemetry_; }
 
-  // The fabric this endpoint posts through (higher layers reach the shared
-  // protocol checker via fabric().checker()).
-  Fabric& fabric() const { return *fabric_; }
+  // The transport this endpoint posts through (higher layers reach the
+  // shared protocol checker via transport().checker()).
+  Transport& transport() const { return *transport_; }
 
   // Collective: every live node must call with identical options; segments
   // are numbered by call order. Registers the receive memory on this node.
+  // All segments must be created before data-plane traffic starts (the
+  // paper's synchronous segment creation).
   SegmentId CreateSegment(const SegmentOptions& options);
 
   // Pushes `payload` (<= obj_bytes) with iteration stamp `iter` to every
@@ -95,7 +139,7 @@ class Dstorm {
   int64_t PeerIteration(SegmentId seg, int sender) const;
 
   // True when at least one not-yet-consumed consistent object is waiting in
-  // this node's receive queues (cheap poll used in WaitUntil predicates).
+  // this node's receive queues (cheap poll used in wait predicates).
   bool FreshAvailable(SegmentId seg) const;
 
   // Updates lost to overwrite-on-full so far: a receiver detects them as
@@ -179,22 +223,32 @@ class Dstorm {
     std::vector<int> next_send_slot;        // per receiver: my next slot index
     std::vector<uint64_t> last_consumed;    // per sender: newest consumed stamp
     int64_t lost_updates = 0;               // sequence gaps seen while consuming
+    // Gather's torn-read-safe slot snapshots, one (payload + back stamp) cell
+    // per (in-edge, slot). RecvObject spans point here, so the storage must
+    // outlive the callback (consumers defer folding); see RecvObject::bytes.
+    std::vector<std::byte> gather_arena;
   };
 
-  Dstorm(DstormDomain* domain, Engine* engine, Fabric* fabric, int rank, int world,
+  Dstorm(DstormDomain* domain, Transport* transport, int rank, int world,
          RankTelemetry* telemetry);
 
   Status PostObject(SegmentId seg, int dst, std::span<const std::byte> payload, uint32_t iter);
   void DrainCompletions();
   size_t SlotOffset(const Segment& s, int sender_pos, int slot) const;
   // Blocks until the NIC send queue has room, charging the stall and its
-  // virtual duration to the fabric.send_queue_stall* counters.
+  // duration to the fabric.send_queue_stall* counters.
   void WaitForSendRoom();
+  // Indexes segments_ under the domain mutex: the first collective creator
+  // appends to *every* node's list, possibly from another rank's thread.
+  // Element references stay valid unlocked (deque never relocates).
+  Segment& GetSegment(SegmentId seg);
+  const Segment& GetSegment(SegmentId seg) const;
 
   DstormDomain* domain_;
-  Engine* engine_;
-  Fabric* fabric_;
-  Process* proc_ = nullptr;
+  Transport* transport_;
+  RankCtx* ctx_ = nullptr;
+  Process* proc_ = nullptr;                 // set only by Bind()
+  std::unique_ptr<SimProcessCtx> owned_ctx_;
   int rank_;
   int world_;
 
@@ -215,7 +269,10 @@ class Dstorm {
   Counter* c_send_stalls_ = nullptr;
   Counter* c_send_stall_ns_ = nullptr;
 
-  std::vector<Segment> segments_;
+  // deque, not vector: the first creator of a later segment appends to this
+  // list from its own thread while this rank may hold a reference to an
+  // earlier element (see GetSegment).
+  std::deque<Segment> segments_;
   int created_count_ = 0;  // segments this node has itself created
   std::vector<bool> group_member_;
   int64_t group_epoch_ = 0;
@@ -235,8 +292,16 @@ class Dstorm {
 class DstormDomain {
  public:
   // Endpoints record telemetry into `telemetry` (one registry per rank);
-  // null falls back to the fabric's domain, so standalone stacks share one.
-  DstormDomain(Engine& engine, Fabric& fabric, int nodes, TelemetryDomain* telemetry = nullptr);
+  // null falls back to the transport's domain, so standalone stacks share
+  // one.
+  explicit DstormDomain(Transport& transport, int nodes, TelemetryDomain* telemetry = nullptr);
+  // Legacy signature (pre-Transport): the engine argument is unused — the
+  // transport's clock already is the engine's.
+  DstormDomain(Engine& engine, Transport& transport, int nodes,
+               TelemetryDomain* telemetry = nullptr)
+      : DstormDomain(transport, nodes, telemetry) {
+    (void)engine;
+  }
 
   Dstorm& node(int rank) { return *nodes_[static_cast<size_t>(rank)]; }
   int size() const { return static_cast<int>(nodes_.size()); }
@@ -251,8 +316,11 @@ class DstormDomain {
     int creators = 0;
   };
 
-  Engine& engine_;
-  Fabric& fabric_;
+  Transport& transport_;
+  // Serializes collective segment creation across rank threads (spec
+  // registry, cross-node segments_ appends); also taken (briefly) by
+  // GetSegment.
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Dstorm>> nodes_;
   std::vector<SegmentSpec> specs_;
 };

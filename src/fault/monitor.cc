@@ -24,7 +24,7 @@ std::vector<int> FaultMonitor::CheckAndRecover() {
     return {};
   }
   c_suspects_->Add(static_cast<int64_t>(suspects.size()));
-  dstorm_.telemetry().trace.Instant("fault.detect", dstorm_.process().now(), "suspects",
+  dstorm_.telemetry().trace.Instant("fault.detect", dstorm_.ctx().Now(), "suspects",
                                     static_cast<int64_t>(suspects.size()));
   MALT_LOG_S(kInfo) << "fault monitor rank " << dstorm_.rank() << ": " << suspects.size()
                     << " suspect peer(s); running health check";
@@ -34,7 +34,7 @@ std::vector<int> FaultMonitor::CheckAndRecover() {
 std::vector<int> FaultMonitor::HealthCheckAndRecover() {
   c_health_checks_->Add(1);
   TraceRing& trace = dstorm_.telemetry().trace;
-  trace.Begin("fault.health_check", dstorm_.process().now());
+  trace.Begin("fault.health_check", dstorm_.ctx().Now());
   std::vector<int> removed;
   for (int member : dstorm_.GroupMembers()) {
     if (member == dstorm_.rank()) {
@@ -49,7 +49,7 @@ std::vector<int> FaultMonitor::HealthCheckAndRecover() {
   }
   // Drop any residual failure reports for nodes we just removed.
   (void)dstorm_.TakeFailedPeers();
-  trace.End("fault.health_check", dstorm_.process().now());
+  trace.End("fault.health_check", dstorm_.ctx().Now());
   return removed;
 }
 
@@ -68,11 +68,11 @@ void FaultMonitor::Recover(const std::vector<int>& removed) {
     dstorm_.RemoveFromGroup(node);
   }
   // Model the RDMA re-registration + queue rebuild delay (paper §3.3).
-  dstorm_.process().Advance(options_.recovery_cost);
+  dstorm_.ctx().Advance(options_.recovery_cost);
   ++recoveries_;
   c_recoveries_->Add(1);
   c_nodes_removed_->Add(static_cast<int64_t>(removed.size()));
-  dstorm_.telemetry().trace.Instant("fault.rebuild", dstorm_.process().now(), "removed",
+  dstorm_.telemetry().trace.Instant("fault.rebuild", dstorm_.ctx().Now(), "removed",
                                     static_cast<int64_t>(removed.size()));
   for (const auto& listener : listeners_) {
     listener(removed);
@@ -82,10 +82,7 @@ void FaultMonitor::Recover(const std::vector<int>& removed) {
     // here; the majority side continues (paper §3.3).
     MALT_LOG_S(kError) << "rank " << dstorm_.rank() << ": group of "
                        << dstorm_.GroupMembers().size() << " is below quorum; halting";
-    Process& proc = dstorm_.process();
-    proc.engine().ScheduleKill(proc.pid(), proc.now());
-    proc.Yield();
-    MALT_CHECK(false) << "unreachable: quorum halt did not unwind";
+    dstorm_.ctx().KillSelf();
   }
 }
 
@@ -101,10 +98,7 @@ void FaultMonitor::GuardLocal(const std::function<void()>& fn) {
     c_local_faults_->Add(1);
     MALT_LOG_S(kError) << "rank " << dstorm_.rank()
                        << ": local fault trapped: " << e.what() << "; terminating replica";
-    Process& proc = dstorm_.process();
-    proc.engine().ScheduleKill(proc.pid(), proc.now());
-    proc.Yield();  // the kill applies here and unwinds via ProcessKilled
-    MALT_CHECK(false) << "unreachable: kill did not unwind";
+    dstorm_.ctx().KillSelf();  // unwinds via ProcessKilled
   }
 }
 

@@ -1,0 +1,41 @@
+// Wall-clock time source for the shared-memory transport.
+//
+// The simulator's SimTime is virtual integer nanoseconds; the shmem backend
+// reuses the same representation but reads a monotonic hardware clock, with
+// the epoch pinned at construction so timestamps start near zero and fit the
+// same telemetry/trace plumbing as virtual time.
+
+#ifndef SRC_SHMEM_CLOCK_H_
+#define SRC_SHMEM_CLOCK_H_
+
+#include <chrono>
+
+#include "src/base/time_units.h"
+
+namespace malt {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Nanoseconds since this clock's epoch. Monotonic, thread-safe.
+  virtual SimTime NowNs() const = 0;
+};
+
+class WallClock : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  SimTime NowNs() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace malt
+
+#endif  // SRC_SHMEM_CLOCK_H_

@@ -1,0 +1,100 @@
+// RankCtx implementation for the shared-memory transport.
+//
+// Ranks are preemptively-scheduled OS threads, so "waiting" is a spin/yield/
+// sleep backoff loop over the caller's predicate, and time passes by itself —
+// Advance() consumes nothing, it is only a cancellation point.
+//
+// Fail-stop is cooperative: the runtime's kill watchdog calls RequestKill()
+// from its own thread; the rank observes the flag at its next cancellation
+// point (Advance / Yield / Wait iterations) and unwinds by throwing the same
+// ProcessKilled the simulator's engine uses, so training code and RAII
+// cleanup behave identically on both backends.
+
+#ifndef SRC_SHMEM_RANK_CTX_H_
+#define SRC_SHMEM_RANK_CTX_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "src/comm/transport.h"
+#include "src/shmem/clock.h"
+#include "src/sim/engine.h"  // ProcessKilled
+
+namespace malt {
+
+class ShmemRankCtx : public RankCtx {
+ public:
+  ShmemRankCtx(int rank, const Clock& clock) : rank_(rank), clock_(clock) {}
+
+  int rank() const { return rank_; }
+
+  // Asks this rank to die; safe from any thread, idempotent. The rank honors
+  // it at its next cancellation point.
+  void RequestKill() { kill_requested_.store(true, std::memory_order_release); }
+  bool KillRequested() const { return kill_requested_.load(std::memory_order_acquire); }
+
+  SimTime Now() const override { return clock_.NowNs(); }
+
+  void Advance(SimDuration dt) override {
+    (void)dt;  // wall time already passed; nothing to consume
+    CheckKill();
+  }
+
+  void Yield() override {
+    CheckKill();
+    std::this_thread::yield();
+  }
+
+  void Wait(const std::function<bool()>& pred) override {
+    for (int spins = 0; !pred(); ++spins) {
+      CheckKill();
+      Backoff(spins);
+    }
+  }
+
+  bool WaitOr(const std::function<bool()>& pred, SimTime deadline) override {
+    for (int spins = 0;; ++spins) {
+      if (pred()) {
+        return true;
+      }
+      if (clock_.NowNs() >= deadline) {
+        return false;
+      }
+      CheckKill();
+      Backoff(spins);
+    }
+  }
+
+  [[noreturn]] void KillSelf() override {
+    kill_requested_.store(true, std::memory_order_release);
+    throw ProcessKilled{rank_};
+  }
+
+ private:
+  void CheckKill() {
+    if (KillRequested()) {
+      throw ProcessKilled{rank_};
+    }
+  }
+
+  // Spin briefly (peers usually respond within microseconds), then back off
+  // to real sleeps so oversubscribed runs (more ranks than cores) make
+  // progress without burning the scheduler.
+  static void Backoff(int spins) {
+    if (spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  const int rank_;
+  const Clock& clock_;
+  std::atomic<bool> kill_requested_{false};
+};
+
+}  // namespace malt
+
+#endif  // SRC_SHMEM_RANK_CTX_H_

@@ -1,0 +1,183 @@
+// Shared-memory transport: the first backend where MALT's ranks are
+// genuinely concurrent OS threads.
+//
+// A one-sided "RDMA write" here is a real memcpy into a peer-owned segment,
+// performed by the *sender's* thread — the sending CPU plays the DMA engine,
+// the receiver's CPU is never involved, exactly the one-sidedness property
+// dstorm is built on. Three mechanisms make this safe under preemptive
+// concurrency:
+//   1. Striped SeqLocks (src/base/seqlock.h): a registered region is divided
+//      into guard stripes (dstorm registers one stripe per receive slot, so
+//      concurrent senders never share a stripe). A writer holds the stripe's
+//      seqlock across its copy; Read() detects in-flight overwrites and
+//      reports them as torn, which dstorm's atomic gather already handles.
+//   2. Word-atomic copies: payload bytes move through relaxed word-sized
+//      atomics (AtomicStoreBytes / AtomicLoadBytes), so the races the
+//      protocol tolerates are data-race-free — the shmem suite runs clean
+//      under ThreadSanitizer.
+//   3. Lock-free completion queues: each rank has a fixed-capacity SPSC ring
+//      of completions. Writes apply inline, so a rank's own post is the only
+//      producer and its own poll the only consumer.
+//
+// What this backend deliberately does NOT model (see DESIGN.md §10): latency
+// or bandwidth shaping (writes land as fast as memcpy goes), network
+// partitions (SetReachable aborts), and kill scheduling in virtual time —
+// fail-stop is a cooperative cancellation flag checked at the rank's next
+// blocking point, with the node marked dead immediately so peers observe
+// error completions and failed probes just as on the simulated fabric.
+
+#ifndef SRC_SHMEM_SHMEM_TRANSPORT_H_
+#define SRC_SHMEM_SHMEM_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "src/base/seqlock.h"
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/check/check.h"
+#include "src/comm/transport.h"
+#include "src/shmem/clock.h"
+#include "src/telemetry/telemetry.h"
+
+namespace malt {
+
+struct ShmemOptions {
+  // Completion-ring capacity per rank (power of two). Writes complete
+  // inline, so the ring only needs to cover completions between two
+  // PollCq calls; overflow drops the oldest and counts it.
+  size_t cq_capacity = 4096;
+};
+
+// Fixed-capacity single-producer/single-consumer completion ring. For this
+// transport both ends are the owning rank's thread (posts produce, polls
+// consume), but the implementation is a proper acquire/release SPSC ring so
+// the invariant is structural, not scheduling luck.
+class CompletionRing {
+ public:
+  explicit CompletionRing(size_t capacity_pow2);
+
+  bool TryPush(const Completion& c);
+  bool TryPop(Completion* out);
+  bool Empty() const;
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void CountDrop() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::vector<Completion> buf_;
+  size_t mask_;
+  std::atomic<uint64_t> head_{0};  // next pop
+  std::atomic<uint64_t> tail_{0};  // next push
+  std::atomic<int64_t> dropped_{0};
+};
+
+class ShmemTransport : public Transport {
+ public:
+  explicit ShmemTransport(int nodes, ShmemOptions options = ShmemOptions{},
+                          TelemetryDomain* telemetry = nullptr);
+
+  TransportKind kind() const override { return TransportKind::kShmem; }
+  int nodes() const override { return nodes_; }
+  SimTime now() const override { return clock_.NowNs(); }
+  const Clock& clock() const { return clock_; }
+
+  TelemetryDomain& telemetry() override { return *telemetry_; }
+  ProtocolChecker& checker() override { return *checker_; }
+  TrafficStats& stats() override { return stats_; }
+  const TrafficStats& stats() const override { return stats_; }
+
+  MrHandle RegisterMemory(int node, size_t bytes, size_t guard_stripe_bytes) override;
+  using Transport::RegisterMemory;
+  void DeregisterMemory(MrHandle mr) override;
+  std::span<std::byte> Data(MrHandle mr) override;
+
+  bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const override;
+  void Write(MrHandle mr, size_t offset, std::span<const std::byte> data) override;
+
+  Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+                             std::span<const std::byte> data) override;
+  Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+                                std::span<const float> values) override;
+  int64_t DrainFloatRegion(MrHandle mr, std::span<float> out) override;
+
+  // Writes apply inline in the sender's thread: the queue never fills and
+  // nothing is ever outstanding.
+  bool HasSendRoom(int /*node*/) const override { return true; }
+  int OutstandingWrites(int node) const override {
+    (void)node;
+    return 0;
+  }
+
+  int PollCq(int node, std::span<Completion> out) override;
+  bool CqNonEmpty(int node) const override;
+
+  bool NodeAlive(int node) const override {
+    return alive_[static_cast<size_t>(node)].load(std::memory_order_acquire);
+  }
+
+  // Partition injection needs a network to partition; aborts here.
+  void SetReachable(int a, int b, bool reachable) override;
+  bool Reachable(int a, int b) const override;
+
+  // Fail-stop: marks `node` dead. Subsequent writes to it complete with
+  // kRemoteDead (the signal fault monitors key off). Called by the runtime's
+  // kill watchdog and when a rank's thread unwinds on ProcessKilled.
+  // Idempotent, callable from any thread.
+  void MarkDead(int node);
+
+ private:
+  struct Region {
+    Region(size_t bytes_arg, size_t stripe_arg);
+
+    std::vector<std::byte> bytes;
+    size_t stripe_bytes;          // 0: unguarded (word-atomic access only)
+    std::vector<SeqLock> guards;  // one per stripe when stripe_bytes > 0
+    std::atomic<bool> registered{true};
+  };
+
+  struct NodeCounters {
+    Counter* writes_posted = nullptr;
+    Counter* float_adds_posted = nullptr;
+    Counter* bytes_sent = nullptr;
+    Counter* bytes_received = nullptr;
+    Counter* completions_success = nullptr;
+    Counter* completions_remote_dead = nullptr;
+    Counter* completions_invalid_rkey = nullptr;
+    HistogramMetric* write_bytes = nullptr;
+  };
+
+  // Region lookup under the shared lock; null when the handle names nothing.
+  Region* FindRegion(MrHandle mr) const;
+  void GuardedStore(Region& region, size_t offset, std::span<const std::byte> data);
+  void PushCompletion(int src, const Completion& c);
+  void AccountPost(int src, int dst, size_t bytes, bool float_add);
+
+  const int nodes_;
+  const ShmemOptions options_;
+  WallClock clock_;
+  std::unique_ptr<TelemetryDomain> owned_telemetry_;
+  TelemetryDomain* telemetry_;
+  std::unique_ptr<ProtocolChecker> checker_;  // always off-level (sim-only feature)
+  std::vector<NodeCounters> counters_;        // [node]
+  TrafficStats stats_;
+
+  // Registration is rare (collective segment creation before training) and
+  // lookup is hot; a shared_mutex keeps lookups concurrent. Regions are held
+  // by unique_ptr so pointers stay stable across registrations.
+  mutable std::shared_mutex region_mu_;
+  std::vector<std::vector<std::unique_ptr<Region>>> regions_;  // [node][rkey]
+
+  std::deque<CompletionRing> cq_;          // [node]; deque: ring is immovable
+  std::vector<uint64_t> next_wr_id_;       // [node]; only node's thread posts
+  std::deque<std::atomic<bool>> alive_;    // [node]
+};
+
+}  // namespace malt
+
+#endif  // SRC_SHMEM_SHMEM_TRANSPORT_H_

@@ -7,22 +7,6 @@
 
 namespace malt {
 
-int64_t TrafficStats::TotalBytes() const {
-  int64_t total = 0;
-  for (int64_t b : tx_bytes_) {
-    total += b;
-  }
-  return total;
-}
-
-int64_t TrafficStats::TotalMessages() const {
-  int64_t total = 0;
-  for (int64_t m : tx_msgs_) {
-    total += m;
-  }
-  return total;
-}
-
 Fabric::Fabric(Engine& engine, int nodes, FabricOptions options, TelemetryDomain* telemetry,
                ProtocolChecker* checker)
     : engine_(engine),
@@ -83,7 +67,8 @@ void Fabric::OnKill(int pid) {
   }
 }
 
-MrHandle Fabric::RegisterMemory(int node, size_t bytes) {
+MrHandle Fabric::RegisterMemory(int node, size_t bytes, size_t guard_stripe_bytes) {
+  (void)guard_stripe_bytes;  // concurrency hint; meaningless under event serialization
   MALT_CHECK(node >= 0 && node < nodes_) << "bad node " << node;
   auto region = std::make_unique<Region>();
   region->bytes.resize(bytes);
@@ -101,6 +86,34 @@ std::span<std::byte> Fabric::Data(MrHandle mr) {
   MALT_CHECK(mr.valid()) << "data access through invalid handle";
   Region& region = *regions_[static_cast<size_t>(mr.node)][mr.rkey];
   return std::span<std::byte>(region.bytes.data(), region.bytes.size());
+}
+
+bool Fabric::Read(MrHandle mr, size_t offset, std::span<std::byte> out) const {
+  MALT_CHECK(mr.valid()) << "read through invalid handle";
+  const Region& region = *regions_[static_cast<size_t>(mr.node)][mr.rkey];
+  MALT_CHECK(offset + out.size() <= region.bytes.size())
+      << "read past region end (rkey " << mr.rkey << ")";
+  std::memcpy(out.data(), region.bytes.data() + offset, out.size());
+  return true;  // event serialization: a local read never races an apply
+}
+
+void Fabric::Write(MrHandle mr, size_t offset, std::span<const std::byte> data) {
+  MALT_CHECK(mr.valid()) << "write through invalid handle";
+  Region& region = *regions_[static_cast<size_t>(mr.node)][mr.rkey];
+  MALT_CHECK(offset + data.size() <= region.bytes.size())
+      << "write past region end (rkey " << mr.rkey << ")";
+  std::memcpy(region.bytes.data() + offset, data.data(), data.size());
+}
+
+int64_t Fabric::DrainFloatRegion(MrHandle mr, std::span<float> out) {
+  std::span<std::byte> mem = Data(mr);
+  MALT_CHECK((out.size() + 1) * sizeof(float) <= mem.size())
+      << "accumulator region smaller than drain target";
+  auto* floats = reinterpret_cast<float*>(mem.data());
+  std::memcpy(out.data(), floats, out.size() * sizeof(float));
+  const int64_t count = static_cast<int64_t>(floats[out.size()]);
+  std::memset(mem.data(), 0, (out.size() + 1) * sizeof(float));
+  return count;
 }
 
 bool Fabric::HasSendRoom(int node) const {

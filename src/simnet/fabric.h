@@ -1,4 +1,5 @@
-// Simulated RDMA fabric: the verbs one-sided-write subset that dstorm needs.
+// Simulated RDMA fabric: the verbs one-sided-write subset that dstorm needs
+// (the simulator backend of the Transport interface, src/comm/transport.h).
 //
 // The paper's dstorm runs over GASPI/InfiniBand and relies on three hardware
 // properties, all preserved here:
@@ -32,6 +33,7 @@
 #include "src/base/status.h"
 #include "src/base/time_units.h"
 #include "src/check/check.h"
+#include "src/comm/transport.h"
 #include "src/sim/engine.h"
 #include "src/telemetry/telemetry.h"
 
@@ -59,53 +61,7 @@ struct FabricOptions {
   bool torn_writes = false;
 };
 
-enum class WcStatus : uint8_t {
-  kSuccess = 0,
-  kRemoteDead = 1,    // destination killed (fail-stop)
-  kUnreachable = 2,   // network partition
-  kInvalidRkey = 3,   // no such memory region / out of bounds
-};
-
-struct Completion {
-  uint64_t wr_id = 0;
-  int dst = -1;
-  WcStatus status = WcStatus::kSuccess;
-};
-
-// Handle to a registered memory region.
-struct MrHandle {
-  int node = -1;
-  uint32_t rkey = 0;
-  bool valid() const { return node >= 0; }
-};
-
-// Per-(src,dst) and per-node byte/message accounting — regenerates Fig. 13.
-class TrafficStats {
- public:
-  explicit TrafficStats(int n)
-      : tx_bytes_(static_cast<size_t>(n), 0),
-        rx_bytes_(static_cast<size_t>(n), 0),
-        tx_msgs_(static_cast<size_t>(n), 0) {}
-
-  void Record(int src, int dst, size_t bytes) {
-    tx_bytes_[static_cast<size_t>(src)] += static_cast<int64_t>(bytes);
-    rx_bytes_[static_cast<size_t>(dst)] += static_cast<int64_t>(bytes);
-    tx_msgs_[static_cast<size_t>(src)] += 1;
-  }
-
-  int64_t TxBytes(int node) const { return tx_bytes_[static_cast<size_t>(node)]; }
-  int64_t RxBytes(int node) const { return rx_bytes_[static_cast<size_t>(node)]; }
-  int64_t TxMessages(int node) const { return tx_msgs_[static_cast<size_t>(node)]; }
-  int64_t TotalBytes() const;
-  int64_t TotalMessages() const;
-
- private:
-  std::vector<int64_t> tx_bytes_;
-  std::vector<int64_t> rx_bytes_;
-  std::vector<int64_t> tx_msgs_;
-};
-
-class Fabric {
+class Fabric : public Transport {
  public:
   // When `telemetry` is null the fabric creates a private domain, so
   // standalone construction (tests, microbenches) still gets counters; the
@@ -115,32 +71,41 @@ class Fabric {
   Fabric(Engine& engine, int nodes, FabricOptions options,
          TelemetryDomain* telemetry = nullptr, ProtocolChecker* checker = nullptr);
 
-  int nodes() const { return nodes_; }
+  TransportKind kind() const override { return TransportKind::kSim; }
+  int nodes() const override { return nodes_; }
+  SimTime now() const override { return engine_.now(); }
   const FabricOptions& options() const { return options_; }
-  TrafficStats& stats() { return stats_; }
-  const TrafficStats& stats() const { return stats_; }
-  TelemetryDomain& telemetry() { return *telemetry_; }
+  TrafficStats& stats() override { return stats_; }
+  const TrafficStats& stats() const override { return stats_; }
+  TelemetryDomain& telemetry() override { return *telemetry_; }
   const TelemetryDomain& telemetry() const { return *telemetry_; }
-  ProtocolChecker& checker() { return *checker_; }
+  ProtocolChecker& checker() override { return *checker_; }
   const ProtocolChecker& checker() const { return *checker_; }
 
   // Registers `bytes` of fabric-owned memory on `node`; the region is
-  // remotely writable by any peer holding the handle.
-  MrHandle RegisterMemory(int node, size_t bytes);
+  // remotely writable by any peer holding the handle. The stripe hint is for
+  // concurrent backends; the single-threaded simulator ignores it.
+  MrHandle RegisterMemory(int node, size_t bytes, size_t guard_stripe_bytes) override;
+  using Transport::RegisterMemory;
 
   // De-registers (further writes fail with kInvalidRkey).
-  void DeregisterMemory(MrHandle mr);
+  void DeregisterMemory(MrHandle mr) override;
 
   // Local access to a region's bytes (the owner polls it; in hardware this is
   // just a pointer into the registered buffer).
-  std::span<std::byte> Data(MrHandle mr);
+  std::span<std::byte> Data(MrHandle mr) override;
+
+  // Local consistent read/write: plain memcpy — events are serialized by the
+  // engine, so a local access can never race a remote apply.
+  bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const override;
+  void Write(MrHandle mr, size_t offset, std::span<const std::byte> data) override;
 
   // Posts a one-sided RDMA write of `data` into `dst_mr` at `dst_offset`,
   // from process `src` at virtual time `now`. Returns the work-request id, or
   // an error if the send queue is full (caller should WaitUntil HasSendRoom)
   // or arguments are invalid. The payload is snapshotted immediately.
   Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
-                             std::span<const std::byte> data);
+                             std::span<const std::byte> data) override;
 
   // Posts a one-sided *accumulating* write: at arrival, each float in
   // `values` is added to the destination floats in place — the fetch_and_add
@@ -148,25 +113,30 @@ class Fabric {
   // gradient-averaging CPU cost. Same queueing/completion semantics as
   // PostWrite. The destination range must be float-aligned.
   Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
-                                std::span<const float> values);
+                                std::span<const float> values) override;
+
+  // Drains an accumulator region (sums + trailing count float); see
+  // Transport::DrainFloatRegion.
+  int64_t DrainFloatRegion(MrHandle mr, std::span<float> out) override;
 
   // True when `node` may post another write without exceeding the send queue.
-  bool HasSendRoom(int node) const;
-  int OutstandingWrites(int node) const;
+  bool HasSendRoom(int node) const override;
+  int OutstandingWrites(int node) const override;
 
-  // Drains up to `out.size()` completions for `node` visible at time `now`.
-  // Returns the number written.
-  int PollCq(int node, std::span<Completion> out);
+  // Drains up to `out.size()` completions currently pending on `node`'s CQ
+  // (i.e. those whose ack events the engine has already applied). Returns
+  // the number written.
+  int PollCq(int node, std::span<Completion> out) override;
 
   // True if the node's CQ is non-empty (for WaitUntil predicates).
-  bool CqNonEmpty(int node) const { return !cq_[static_cast<size_t>(node)].empty(); }
+  bool CqNonEmpty(int node) const override { return !cq_[static_cast<size_t>(node)].empty(); }
 
   // Liveness, as observed by the transport layer.
-  bool NodeAlive(int node) const { return alive_[static_cast<size_t>(node)]; }
+  bool NodeAlive(int node) const override { return alive_[static_cast<size_t>(node)]; }
 
   // Partition injection: when false, writes between a and b fail (both ways).
-  void SetReachable(int a, int b, bool reachable);
-  bool Reachable(int a, int b) const;
+  void SetReachable(int a, int b, bool reachable) override;
+  bool Reachable(int a, int b) const override;
 
  private:
   struct Region {
@@ -175,7 +145,7 @@ class Fabric {
   };
 
   // Per-node counter cells, resolved once at construction (hot-path bumps
-  // are plain integer adds; see src/telemetry/metrics.h).
+  // are relaxed atomic adds; see src/telemetry/metrics.h).
   struct NodeCounters {
     Counter* writes_posted = nullptr;
     Counter* float_adds_posted = nullptr;

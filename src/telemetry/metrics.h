@@ -4,9 +4,10 @@
 // Design (see DESIGN.md §8 "Observability"):
 //   - Registration is by dotted name ("fabric.bytes_sent"); the registry
 //     returns a stable pointer, so hot paths register once (typically at
-//     construction) and then bump a plain integer — no map lookup, no lock.
-//     The simulator serializes all rank execution, so no atomics are needed
-//     either; on real hardware the cells would become std::atomic.
+//     construction) and then bump a relaxed atomic — no map lookup, no lock.
+//     Counters are atomic because the shmem transport's sender threads bump
+//     receiver-side cells concurrently; gauges/histograms stay plain (only
+//     ever touched by the owning rank's thread).
 //   - Every rank gets its own registry (see telemetry.h); Merge() folds the
 //     per-rank registries into a cluster-wide aggregate at run end.
 //   - Counters are monotonic int64 event counts (suffix convention: `_ns`
@@ -17,6 +18,7 @@
 #ifndef SRC_TELEMETRY_METRICS_H_
 #define SRC_TELEMETRY_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -28,11 +30,14 @@ namespace malt {
 
 class Counter {
  public:
-  void Add(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  // Relaxed atomic: the simulator serializes all ranks, but under the shmem
+  // transport a sender's thread bumps the receiver's rx cells concurrently
+  // with other senders (exactly the "on real hardware" caveat above).
+  std::atomic<int64_t> value_{0};
 };
 
 class Gauge {

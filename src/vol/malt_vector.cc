@@ -77,9 +77,9 @@ Status MaltVector::EncodeAndScatter(std::span<const int>* dsts) {
 // Outgoing iteration stamps must never regress within one vector: the SSP
 // gate and the ASP straggler filter both order peers by these stamps.
 void MaltVector::NoteScatterStamp() {
-  ProtocolChecker& checker = dstorm_.fabric().checker();
+  ProtocolChecker& checker = dstorm_.transport().checker();
   if (checker.enabled()) {
-    const SimTime now = dstorm_.bound() ? dstorm_.process().now() : 0;
+    const SimTime now = dstorm_.bound() ? dstorm_.ctx().Now() : 0;
     checker.OnVolScatter(dstorm_.rank(), segment_, iteration_, now);
   }
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/comm/graph.h"
+#include "src/simnet/fabric.h"
 
 namespace malt {
 namespace {

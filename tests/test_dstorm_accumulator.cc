@@ -6,6 +6,7 @@
 
 #include "src/comm/graph.h"
 #include "src/dstorm/dstorm.h"
+#include "src/simnet/fabric.h"
 
 namespace malt {
 namespace {

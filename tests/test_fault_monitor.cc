@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "src/comm/graph.h"
+#include "src/simnet/fabric.h"
 
 namespace malt {
 namespace {

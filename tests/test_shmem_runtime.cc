@@ -1,0 +1,131 @@
+// Malt runtime on the shared-memory backend: the same worker body the
+// simulator runs executes on real concurrent threads. Covers end-to-end
+// vector scatter/gather/fold, sim-vs-shmem convergence parity for the SVM
+// app, and watchdog-delivered kills. Runs clean under TSan
+// (tools/check.sh MALT_SANITIZE=thread stage).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/apps/svm_app.h"
+#include "src/core/runtime.h"
+#include "src/ml/dataset.h"
+
+namespace malt {
+namespace {
+
+MaltOptions ShmemOpts(int ranks) {
+  MaltOptions options;
+  options.transport = TransportKind::kShmem;
+  options.ranks = ranks;
+  return options;
+}
+
+TEST(ShmemRuntime, WorkersRunConcurrentlyAndFoldVectors) {
+  const int n = 4;
+  const size_t dim = 64;
+  MaltOptions options = ShmemOpts(n);
+  Malt malt(options);
+  EXPECT_EQ(malt.transport().kind(), TransportKind::kShmem);
+
+  std::vector<std::vector<float>> models(n);
+  malt.Run([&](Worker& w) {
+    MaltVector v = w.CreateVector("model", dim);
+    for (float& x : v.data()) {
+      x = static_cast<float>(w.rank() + 1);
+    }
+    for (int round = 0; round < 5; ++round) {
+      ASSERT_TRUE(v.Scatter().ok());
+      ASSERT_TRUE(w.Barrier().ok());
+      v.GatherAverage();
+      ASSERT_TRUE(w.Barrier().ok());
+    }
+    models[static_cast<size_t>(w.rank())] = {v.data().begin(), v.data().end()};
+  });
+
+  EXPECT_EQ(malt.survivors(), n);
+  // One BSP averaging round maps every replica to the global mean
+  // (local + sum(peers)) / n = (1+2+...+n)/n, and further rounds keep it
+  // there — so all replicas must agree on exactly that value.
+  const float mean = static_cast<float>(n + 1) / 2.0f;  // (1+..+n)/n
+  for (int rank = 0; rank < n; ++rank) {
+    ASSERT_EQ(models[static_cast<size_t>(rank)].size(), dim);
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_FLOAT_EQ(models[static_cast<size_t>(rank)][i], mean)
+          << "rank " << rank << " element " << i;
+    }
+  }
+}
+
+TEST(ShmemRuntime, CheckerIsForcedOffUnderShmem) {
+  MaltOptions options = ShmemOpts(2);
+  options.check = CheckLevel::kCheap;  // sim-only feature: sanitized away
+  Malt malt(options);
+  EXPECT_FALSE(malt.checker().enabled());
+  malt.Run([](Worker&) {});
+}
+
+// The acceptance bar from the transport redesign: the SVM app converges in
+// the same band on both backends.
+TEST(ShmemRuntime, SvmConvergesInSameBandAsSim) {
+  ClassificationConfig dc = DnaLike();
+  const SparseDataset data = MakeClassification(dc);
+  SvmAppConfig config;
+  config.data = &data;
+  config.epochs = 3;
+  config.cb_size = 5000;
+
+  auto run = [&](TransportKind kind) {
+    MaltOptions options;
+    options.ranks = 4;
+    options.transport = kind;
+    Malt malt(options);
+    return RunDistributedSvm(malt, config);
+  };
+  const SvmRunResult sim = run(TransportKind::kSim);
+  const SvmRunResult shm = run(TransportKind::kShmem);
+
+  EXPECT_GT(sim.final_accuracy, 0.75);
+  EXPECT_GT(shm.final_accuracy, 0.75);
+  EXPECT_NEAR(shm.final_accuracy, sim.final_accuracy, 0.05);
+  EXPECT_NEAR(shm.final_loss, sim.final_loss, 0.1);
+}
+
+TEST(ShmemRuntime, ScheduledKillRemovesRankAndSurvivorsFinish) {
+  const int n = 3;
+  const int victim = 2;
+  MaltOptions options = ShmemOpts(n);
+  options.barrier_timeout = FromSeconds(0.05);  // fast health-check turnaround
+  Malt malt(options);
+  malt.ScheduleKill(victim, 0.02);
+
+  std::vector<int> rounds_done(n, 0);
+  malt.Run([&](Worker& w) {
+    MaltVector v = w.CreateVector("model", 16);
+    // Pace the loop in real time so the kill (wall-clock 0.02s in) lands
+    // mid-training; ChargeSeconds is the cancellation point that observes it.
+    for (int round = 0; round < 200; ++round) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      w.ChargeSeconds(0.0005);
+      ASSERT_TRUE(v.Scatter().ok());
+      ASSERT_TRUE(w.Barrier().ok());
+      v.GatherAverage();
+      rounds_done[static_cast<size_t>(w.rank())] = round + 1;
+    }
+  });
+
+  EXPECT_FALSE(malt.rank_survived(victim));
+  EXPECT_TRUE(malt.rank_survived(0));
+  EXPECT_TRUE(malt.rank_survived(1));
+  EXPECT_EQ(malt.survivors(), n - 1);
+  EXPECT_EQ(rounds_done[0], 200);
+  EXPECT_EQ(rounds_done[1], 200);
+  EXPECT_LT(rounds_done[victim], 200);
+}
+
+}  // namespace
+}  // namespace malt

@@ -1,0 +1,198 @@
+// ShmemTransport tests: one-sided writes land as real memcpys with inline
+// completions, dead peers produce error completions, bad handles produce
+// kInvalidRkey, float-add accumulators survive concurrent posters, striped
+// seqlock guards detect torn reads under a racing writer, and TrafficStats
+// aggregates across the matrix. Threaded cases run clean under TSan
+// (tools/check.sh MALT_SANITIZE=thread stage).
+
+#include "src/shmem/shmem_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace malt {
+namespace {
+
+std::span<const std::byte> AsBytes(const void* p, size_t n) {
+  return {static_cast<const std::byte*>(p), n};
+}
+
+TEST(ShmemTransport, WriteLandsWithCompletionAndStats) {
+  ShmemTransport t(2);
+  const MrHandle mr = t.RegisterMemory(1, 64);
+
+  const double value = 42.5;
+  auto wr = t.PostWrite(0, t.now(), mr, 8, AsBytes(&value, sizeof(value)));
+  ASSERT_TRUE(wr.ok());
+
+  // The payload is visible in the peer's region immediately (inline apply).
+  double landed = 0.0;
+  std::memcpy(&landed, t.Data(mr).data() + 8, sizeof(landed));
+  EXPECT_EQ(landed, value);
+
+  // The sender's CQ holds exactly one success completion for that wr_id.
+  Completion c[4];
+  ASSERT_EQ(t.PollCq(0, c), 1);
+  EXPECT_EQ(c[0].wr_id, *wr);
+  EXPECT_EQ(c[0].dst, 1);
+  EXPECT_EQ(c[0].status, WcStatus::kSuccess);
+  EXPECT_EQ(t.PollCq(0, c), 0);
+  EXPECT_FALSE(t.CqNonEmpty(0));
+
+  EXPECT_EQ(t.stats().TxBytes(0), static_cast<int64_t>(sizeof(value)));
+  EXPECT_EQ(t.stats().RxBytes(1), static_cast<int64_t>(sizeof(value)));
+  EXPECT_EQ(t.stats().TxMessages(0), 1);
+}
+
+TEST(ShmemTransport, DeadNodeWriteCompletesRemoteDead) {
+  ShmemTransport t(2);
+  const MrHandle mr = t.RegisterMemory(1, 32);
+  t.MarkDead(1);
+  EXPECT_FALSE(t.NodeAlive(1));
+  EXPECT_FALSE(t.Reachable(0, 1));
+
+  const uint32_t v = 7;
+  auto wr = t.PostWrite(0, t.now(), mr, 0, AsBytes(&v, sizeof(v)));
+  ASSERT_TRUE(wr.ok());
+  Completion c[1];
+  ASSERT_EQ(t.PollCq(0, c), 1);
+  EXPECT_EQ(c[0].status, WcStatus::kRemoteDead);
+}
+
+TEST(ShmemTransport, OutOfBoundsWriteCompletesInvalidRkey) {
+  ShmemTransport t(2);
+  const MrHandle mr = t.RegisterMemory(1, 16);
+  const uint64_t v = 1;
+  auto wr = t.PostWrite(0, t.now(), mr, 12, AsBytes(&v, sizeof(v)));
+  ASSERT_TRUE(wr.ok());
+  Completion c[1];
+  ASSERT_EQ(t.PollCq(0, c), 1);
+  EXPECT_EQ(c[0].status, WcStatus::kInvalidRkey);
+}
+
+TEST(ShmemTransport, DeregisteredRegionRejectsWrites) {
+  ShmemTransport t(2);
+  const MrHandle mr = t.RegisterMemory(1, 16);
+  t.DeregisterMemory(mr);
+  const uint32_t v = 3;
+  ASSERT_TRUE(t.PostWrite(0, t.now(), mr, 0, AsBytes(&v, sizeof(v))).ok());
+  Completion c[1];
+  ASSERT_EQ(t.PollCq(0, c), 1);
+  EXPECT_EQ(c[0].status, WcStatus::kInvalidRkey);
+}
+
+TEST(ShmemTransport, ConcurrentFloatAddsNeverLoseUpdates) {
+  const int n = 4;
+  const size_t dim = 32;
+  const int posts_per_rank = 200;
+  ShmemTransport t(n);
+  // Accumulator layout: dim floats + one trailing contribution counter.
+  const MrHandle mr = t.RegisterMemory(0, (dim + 1) * sizeof(float));
+
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      std::vector<float> ones(dim, 1.0f);
+      const float count = 1.0f;
+      for (int i = 0; i < posts_per_rank; ++i) {
+        ASSERT_TRUE(t.PostFloatAdd(rank, t.now(), mr, 0, ones).ok());
+        ASSERT_TRUE(t.PostFloatAdd(rank, t.now(), mr, dim * sizeof(float),
+                                   std::span<const float>(&count, 1))
+                        .ok());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  std::vector<float> out(dim, -1.0f);
+  const int64_t contributions = t.DrainFloatRegion(mr, out);
+  EXPECT_EQ(contributions, int64_t{n} * posts_per_rank);
+  for (size_t i = 0; i < dim; ++i) {
+    EXPECT_EQ(out[i], static_cast<float>(n * posts_per_rank)) << "element " << i;
+  }
+  // Exchange-to-zero drain: a second drain sees an empty accumulator.
+  EXPECT_EQ(t.DrainFloatRegion(mr, out), 0);
+  EXPECT_EQ(out[0], 0.0f);
+}
+
+// A reader racing a striped writer either gets a fully consistent snapshot
+// or a torn-read failure — never a mixed payload.
+TEST(ShmemTransport, StripedGuardsDetectTornReads) {
+  const size_t slot = 64;
+  ShmemTransport t(2);
+  const MrHandle mr = t.RegisterMemory(1, slot, /*guard_stripe_bytes=*/slot);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::vector<std::byte> pattern(slot);
+    for (uint64_t round = 1; !stop.load(std::memory_order_relaxed); ++round) {
+      std::memset(pattern.data(), static_cast<int>(round & 0xff), slot);
+      ASSERT_TRUE(t.PostWrite(0, t.now(), mr, 0, pattern).ok());
+    }
+  });
+
+  int consistent = 0;
+  std::vector<std::byte> snap(slot);
+  for (int i = 0; i < 20000; ++i) {
+    if (!t.Read(mr, 0, snap)) {
+      continue;  // torn: write in flight — the defined failure mode
+    }
+    ++consistent;
+    for (size_t b = 1; b < slot; ++b) {
+      ASSERT_EQ(snap[b], snap[0]) << "torn snapshot escaped the guard";
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(consistent, 0) << "reader never saw a stable snapshot";
+}
+
+// Satellite: TrafficStats aggregate accessors cover the whole matrix.
+TEST(ShmemTransport, TrafficStatsTotalsAggregateAllPairs) {
+  const int n = 3;
+  ShmemTransport t(n);
+  MrHandle mr[n];
+  for (int node = 0; node < n; ++node) {
+    mr[node] = t.RegisterMemory(node, 64);
+  }
+  const uint64_t payload = 0xabcdef;
+  int64_t expect_bytes = 0;
+  int64_t expect_msgs = 0;
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      ASSERT_TRUE(t.PostWrite(src, t.now(), mr[dst], 0, AsBytes(&payload, sizeof(payload)))
+                      .ok());
+      expect_bytes += sizeof(payload);
+      ++expect_msgs;
+    }
+  }
+  EXPECT_EQ(t.stats().TotalBytes(), expect_bytes);
+  EXPECT_EQ(t.stats().TotalMessages(), expect_msgs);
+  EXPECT_EQ(t.stats().TxBytes(0), int64_t{2} * sizeof(payload));
+  EXPECT_EQ(t.stats().RxBytes(2), int64_t{2} * sizeof(payload));
+}
+
+TEST(ShmemTransport, CompletionRingDropsWhenFull) {
+  ShmemOptions opts;
+  opts.cq_capacity = 4;
+  ShmemTransport t(2, opts);
+  const MrHandle mr = t.RegisterMemory(1, 16);
+  const uint32_t v = 1;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.PostWrite(0, t.now(), mr, 0, AsBytes(&v, sizeof(v))).ok());
+  }
+  Completion c[16];
+  EXPECT_EQ(t.PollCq(0, c), 4);  // capacity kept; the rest counted as dropped
+}
+
+}  // namespace
+}  // namespace malt

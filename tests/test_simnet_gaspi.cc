@@ -4,6 +4,7 @@
 // porting seam the paper used (dstorm runs over GASPI).
 
 #include "src/simnet/gaspi.h"
+#include "src/simnet/fabric.h"
 
 #include <gtest/gtest.h>
 

@@ -7,6 +7,7 @@
 
 #include "src/comm/graph.h"
 #include "src/vol/accumulator.h"
+#include "src/simnet/fabric.h"
 
 namespace malt {
 namespace {

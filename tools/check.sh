@@ -3,7 +3,7 @@
 # check, as one command (DESIGN.md §9, README "Analysis").
 #
 #   tools/check.sh            # full gate
-#   tools/check.sh --fast     # skip the UBSan rebuild (tidy + tests only)
+#   tools/check.sh --fast     # skip the UBSan rebuild + TSan stage
 #
 # Stages:
 #   1. UBSan build   — cmake -DMALT_SANITIZE=undefined, -fno-sanitize-recover,
@@ -13,6 +13,9 @@
 #   3. ctest -L analysis — the protocol-checker test suite.
 #   4. malt_run --check=full — the SVM example under the happens-before
 #                      validator; any violation fails the gate.
+#   5. TSan build + ctest -L shmem — the shared-memory transport suite
+#                      (real concurrent rank threads) under ThreadSanitizer;
+#                      any data race fails the gate.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -71,6 +74,30 @@ if "$BUILD_DIR/tools/malt_run" --app=svm --epochs=3 --check=full \
 else
   cat /tmp/malt_check_report.json 2>/dev/null
   fail "malt_run --check=full reported violations"
+fi
+
+# --- 5. TSan build + shmem-labelled tests ------------------------------------
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-$REPO/build-tsan}"
+note "configure + build (MALT_SANITIZE=thread) in $TSAN_BUILD_DIR"
+if [ "$FAST" = 1 ]; then
+  echo "(--fast: skipping the TSan stage)"
+else
+  if cmake -B "$TSAN_BUILD_DIR" -S "$REPO" -DMALT_SANITIZE=thread >/dev/null \
+     && cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+          --target test_base_seqlock test_shmem_transport test_shmem_dstorm test_shmem_runtime \
+          > /tmp/malt_check_tsan_build.log 2>&1; then
+    echo "TSan build OK"
+    note "ctest -L shmem (ThreadSanitizer)"
+    if (cd "$TSAN_BUILD_DIR" && TSAN_OPTIONS="halt_on_error=1" \
+          ctest -L shmem --output-on-failure -j "$JOBS"); then
+      echo "shmem TSan tests OK"
+    else
+      fail "ctest -L shmem under TSan"
+    fi
+  else
+    tail -40 /tmp/malt_check_tsan_build.log
+    fail "TSan build"
+  fi
 fi
 
 note "summary"

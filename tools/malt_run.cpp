@@ -112,6 +112,8 @@ int main(int argc, char** argv) {
   const std::string app = flags.GetString("app", "svm", "application: svm|mf|nn");
   malt::MaltOptions options;
   options.ranks = static_cast<int>(flags.GetInt("ranks", 10, "model replicas"));
+  options.transport = *malt::ParseTransportKind(
+      flags.GetString("transport", "sim", "execution backend: sim|shmem"));
   options.sync = *malt::ParseSyncMode(flags.GetString("sync", "bsp", "bsp|asp|ssp"));
   options.graph =
       *malt::ParseGraphKind(flags.GetString("graph", "all", "all|halton|ring|random|ps"));
