@@ -1,0 +1,143 @@
+// Protocol-checker overhead on the shared-memory transport: wall-clock
+// scatter/gather rates with the concurrent happens-before validator at
+// --check=off|cheap|full (DESIGN.md §9). The checker's apply hooks run in
+// the sender's store path and its read hooks in the gather path, so the
+// off-vs-cheap delta prices the lock-striped ledger and cheap-vs-full the
+// payload hashing.
+//
+//   bench_check_overhead [--ranks=4,8] [--bytes=1024,65536] [--iters=1000]
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/base/log.h"
+#include "src/check/check.h"
+#include "src/comm/graph.h"
+#include "src/dstorm/dstorm.h"
+#include "src/shmem/rank_ctx.h"
+#include "src/shmem/shmem_transport.h"
+
+namespace malt {
+namespace {
+
+std::vector<int> ParseIntList(const std::string& s) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(std::stoi(tok));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct RoundRates {
+  double seconds = 0.0;
+  int64_t objects_gathered = 0;
+  int64_t events_checked = 0;
+  int64_t violations = 0;
+};
+
+// Full-protocol rounds under a bound concurrent checker: each rank scatters
+// all-to-all and gathers what arrived, no barriers (the ASP-style hot path —
+// the raciest load the checker faces).
+RoundRates CheckedRounds(CheckLevel level, int ranks, size_t bytes, int iters) {
+  ProtocolChecker checker(level, ranks);
+  checker.SetConcurrent(true);
+  ShmemTransport t(ranks, ShmemOptions{}, nullptr, &checker);
+  DstormDomain domain(t, ranks);
+  std::vector<std::unique_ptr<ShmemRankCtx>> ctxs;
+  for (int rank = 0; rank < ranks; ++rank) {
+    ctxs.push_back(std::make_unique<ShmemRankCtx>(rank, t.clock()));
+  }
+
+  std::vector<int64_t> gathered(static_cast<size_t>(ranks), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < ranks; ++rank) {
+    threads.emplace_back([&, rank] {
+      Dstorm& d = domain.node(rank);
+      d.BindCtx(*ctxs[static_cast<size_t>(rank)]);
+      SegmentOptions opts;
+      opts.obj_bytes = bytes;
+      opts.graph = AllToAllGraph(ranks);
+      opts.queue_depth = 4;
+      const SegmentId seg = d.CreateSegment(opts);
+      std::vector<std::byte> payload(bytes, std::byte{0x5a});
+      int64_t mine = 0;
+      for (int i = 1; i <= iters; ++i) {
+        MALT_CHECK(d.Scatter(seg, payload, static_cast<uint32_t>(i)).ok());
+        mine += d.Gather(seg, [](const RecvObject&) {});
+      }
+      d.FinishBarriers();
+      gathered[static_cast<size_t>(rank)] = mine;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  RoundRates r;
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (int64_t g : gathered) {
+    r.objects_gathered += g;
+  }
+  r.events_checked = checker.events_checked();
+  r.violations = checker.violation_count();
+  return r;
+}
+
+}  // namespace
+}  // namespace malt
+
+int main(int argc, char** argv) {
+  malt::Flags flags;
+  flags.Parse(argc, argv);
+  const std::vector<int> rank_list =
+      malt::ParseIntList(flags.GetString("ranks", "4,8", "rank counts to sweep"));
+  const std::vector<int> byte_list =
+      malt::ParseIntList(flags.GetString("bytes", "1024,65536", "object sizes to sweep"));
+  const int iters = static_cast<int>(flags.GetInt("iters", 1000, "rounds per rank"));
+  flags.Finish();
+
+  const malt::CheckLevel levels[] = {malt::CheckLevel::kOff, malt::CheckLevel::kCheap,
+                                     malt::CheckLevel::kFull};
+  std::printf("# concurrent checker overhead, shmem scatter/gather, %d rounds/rank\n",
+              iters);
+  std::printf("%-6s %-6s %-8s %12s %12s %14s %12s %10s\n", "check", "ranks", "bytes",
+              "MB/s", "rounds/s", "gathered/s", "events", "violations");
+  for (const int bytes : byte_list) {
+    for (const int ranks : rank_list) {
+      for (const malt::CheckLevel level : levels) {
+        const malt::RoundRates r =
+            malt::CheckedRounds(level, ranks, static_cast<size_t>(bytes), iters);
+        // Each round scatters to ranks-1 peers.
+        const double total_bytes =
+            static_cast<double>(ranks) * iters * (ranks - 1) * bytes;
+        std::printf("%-6s %-6d %-8d %12.1f %12.0f %14.0f %12lld %10lld\n",
+                    malt::ToString(level).c_str(), ranks, bytes,
+                    total_bytes / r.seconds / 1e6,
+                    static_cast<double>(ranks) * iters / r.seconds,
+                    static_cast<double>(r.objects_gathered) / r.seconds,
+                    static_cast<long long>(r.events_checked),
+                    static_cast<long long>(r.violations));
+        if (r.violations != 0) {
+          std::fprintf(stderr, "check: %lld violations at level %s — protocol bug\n",
+                       static_cast<long long>(r.violations),
+                       malt::ToString(level).c_str());
+          return 1;
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -72,43 +72,80 @@ void ProtocolChecker::BindTelemetry(TelemetryDomain* telemetry) {
   MALT_CHECK(telemetry == nullptr || telemetry->ranks() >= world_)
       << "telemetry domain smaller than checker world";
   telemetry_ = telemetry;
+  rank_counters_.clear();
+  if (telemetry_ == nullptr || !enabled()) {
+    return;
+  }
+  // Resolve every violation counter up front: registry lookups mutate a map
+  // owned by the rank's thread, but a violation can be observed (and must be
+  // counted) from any thread. Counter bumps themselves are relaxed atomics.
+  rank_counters_.reserve(static_cast<size_t>(world_));
+  for (int rank = 0; rank < world_; ++rank) {
+    MetricRegistry& reg = telemetry_->rank(rank).metrics;
+    RankCounters rc;
+    rc.total = reg.GetCounter("check.violations");
+    for (size_t i = 0; i < check::kAllKinds.size(); ++i) {
+      rc.per_kind[i] = reg.GetCounter(std::string("check.violations.") + check::kAllKinds[i]);
+    }
+    rank_counters_.push_back(rc);
+  }
 }
 
 void ProtocolChecker::ReportViolation(const char* kind, int rank, SimTime now,
                                       std::string detail) {
-  ++violation_count_;
-  ++by_kind_[kind];
-  if (violations_.size() < kMaxStoredViolations) {
-    violations_.push_back(Violation{kind, rank, now, detail});
+  violation_count_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++by_kind_[kind];
+    if (violations_.size() < kMaxStoredViolations) {
+      violations_.push_back(Violation{kind, rank, now, detail});
+    }
   }
   MALT_LOG_S(kWarning) << "check: " << kind << " on rank " << rank << " at t=" << now << "ns: "
                        << detail;
-  if (telemetry_ != nullptr && rank >= 0 && rank < telemetry_->ranks()) {
-    RankTelemetry& rt = telemetry_->rank(rank);
-    rt.metrics.GetCounter("check.violations")->Add(1);
-    rt.metrics.GetCounter(std::string("check.violations.") + kind)->Add(1);
-    if (level_ == CheckLevel::kFull) {
-      rt.trace.Instant(kind, now);
+  if (rank >= 0 && static_cast<size_t>(rank) < rank_counters_.size()) {
+    const RankCounters& rc = rank_counters_[static_cast<size_t>(rank)];
+    rc.total->Add(1);
+    for (size_t i = 0; i < check::kAllKinds.size(); ++i) {
+      if (std::strcmp(check::kAllKinds[i], kind) == 0) {
+        rc.per_kind[i]->Add(1);
+        break;
+      }
+    }
+    // Trace rings are single-writer (the owning rank's thread); a violation
+    // can be observed from a foreign thread in concurrent mode, so the
+    // per-violation trace instant is a serialized-mode feature.
+    if (level_ == CheckLevel::kFull && !concurrent_ && telemetry_ != nullptr) {
+      telemetry_->rank(rank).trace.Instant(kind, now);
     }
   }
 }
 
-ProtocolChecker::ShadowSegment* ProtocolChecker::FindSegment(int node, uint32_t rkey) {
+std::mutex& ProtocolChecker::StripeFor(int node, uint32_t rkey, size_t queue) const {
+  uint64_t h = static_cast<uint64_t>(node) + 0x9E3779B97F4A7C15ull;
+  h = (h ^ rkey) * 0x100000001B3ull;
+  h = (h ^ queue) * 0x100000001B3ull;
+  return ledger_mu_[h % kLedgerStripes];
+}
+
+ProtocolChecker::ShadowSegment* ProtocolChecker::FindSegmentLocked(int node,
+                                                                   uint32_t rkey) const {
   if (node < 0 || node >= world_) {
     return nullptr;
   }
-  auto& per_node = shadows_[static_cast<size_t>(node)];
+  const auto& per_node = shadows_[static_cast<size_t>(node)];
   if (rkey >= per_node.size()) {
     return nullptr;
   }
   return per_node[rkey].get();
 }
 
-ProtocolChecker::ShadowSegment* ProtocolChecker::FindSegmentById(int node, int segment) {
+ProtocolChecker::ShadowSegment* ProtocolChecker::FindSegmentByIdLocked(int node,
+                                                                       int segment) const {
   if (node < 0 || node >= world_) {
     return nullptr;
   }
-  for (auto& shadow : shadows_[static_cast<size_t>(node)]) {
+  for (const auto& shadow : shadows_[static_cast<size_t>(node)]) {
     if (shadow != nullptr && shadow->segment == segment) {
       return shadow.get();
     }
@@ -123,28 +160,31 @@ void ProtocolChecker::OnSegmentCreate(int node, uint32_t rkey, int segment,
   }
   MALT_CHECK(node >= 0 && node < world_) << "bad node " << node;
   MALT_CHECK(layout.slot_stride > 0 && layout.queue_depth > 0) << "degenerate segment layout";
+  std::unique_lock<std::shared_mutex> lock(reg_mu_);
   auto& per_node = shadows_[static_cast<size_t>(node)];
   if (per_node.size() <= rkey) {
     per_node.resize(static_cast<size_t>(rkey) + 1);
   }
   auto shadow = std::make_unique<ShadowSegment>();
   shadow->segment = segment;
+  shadow->rkey = rkey;
   shadow->queues.resize(layout.senders.size());
   shadow->slots.resize(layout.senders.size() * static_cast<size_t>(layout.queue_depth));
   shadow->layout = std::move(layout);
   per_node[rkey] = std::move(shadow);
 }
 
-void ProtocolChecker::CommitWrite(ShadowSegment& seg, size_t queue, size_t slot, uint64_t seq,
-                                  uint32_t iter, uint32_t bytes, uint64_t hash) {
+void ProtocolChecker::CommitWrite(ShadowSegment& seg, size_t queue, size_t slot,
+                                  const Commit& commit) {
   ShadowSlot& s = seg.slots[queue * static_cast<size_t>(seg.layout.queue_depth) + slot];
-  s.committed_seq = seq;
-  s.committed_iter = iter;
-  s.committed_bytes = bytes;
-  s.committed_hash = hash;
+  if (s.committed.seq != 0) {
+    s.history[s.history_next] = s.committed;
+    s.history_next = (s.history_next + 1) % ShadowSlot::kHistory;
+  }
+  s.committed = commit;
   s.mid_write = false;
   seg.queues[queue].newest_applied_iter =
-      std::max(seg.queues[queue].newest_applied_iter, static_cast<int64_t>(iter));
+      std::max(seg.queues[queue].newest_applied_iter, static_cast<int64_t>(commit.iter));
 }
 
 void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t offset,
@@ -153,35 +193,49 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
   if (!enabled()) {
     return;
   }
-  ShadowSegment* seg = FindSegment(dst, rkey);
+  std::shared_lock<std::shared_mutex> reg_lock(reg_mu_);
+  ShadowSegment* seg = FindSegmentLocked(dst, rkey);
   if (seg == nullptr) {
     return;  // barrier counters, probe scratch, accumulators: not slot-structured
   }
-  ++events_checked_;
+  events_checked_.fetch_add(1, std::memory_order_relaxed);
 
   const size_t stride = seg->layout.slot_stride;
   const size_t depth = static_cast<size_t>(seg->layout.queue_depth);
   const size_t queue = offset / (stride * depth);
   const size_t slot = (offset % (stride * depth)) / stride;
+  // The second half of a split apply carries the same image the first half
+  // already validated and reported on; it only resolves the in-flight state.
+  const bool report = phase != ApplyPhase::kSecondHalf;
 
   if (offset % stride != 0 || queue >= seg->queues.size()) {
-    ReportViolation(check::kSlotMisaligned, dst, now,
-                    "write from rank " + std::to_string(src) + " at offset " +
-                        std::to_string(offset) + " is not on a slot boundary");
+    if (report) {
+      ReportViolation(check::kSlotMisaligned, dst, now,
+                      "write from rank " + std::to_string(src) + " at offset " +
+                          std::to_string(offset) + " is not on a slot boundary");
+    }
     if (queue < seg->queues.size()) {
+      std::lock_guard<std::mutex> lock(StripeFor(dst, rkey, queue));
       seg->slots[queue * depth + slot].poisoned = true;
     }
     return;
   }
+
+  std::lock_guard<std::mutex> lock(StripeFor(dst, rkey, queue));
   ShadowSlot& shadow = seg->slots[queue * depth + slot];
   ShadowQueue& q = seg->queues[queue];
+  if (phase != ApplyPhase::kSecondHalf) {
+    ++shadow.writes_begun;
+  }
 
   // Header sanity: the wire image must be a complete slot write.
   if (wire.size() < check::kPayloadOff + sizeof(uint64_t) || wire.size() > stride) {
-    ReportViolation(check::kHeaderCorrupt, dst, now,
-                    "write of " + std::to_string(wire.size()) + " bytes from rank " +
-                        std::to_string(src) + " is not a slot image (stride " +
-                        std::to_string(stride) + ")");
+    if (report) {
+      ReportViolation(check::kHeaderCorrupt, dst, now,
+                      "write of " + std::to_string(wire.size()) + " bytes from rank " +
+                          std::to_string(src) + " is not a slot image (stride " +
+                          std::to_string(stride) + ")");
+    }
     shadow.poisoned = true;
     return;
   }
@@ -190,9 +244,11 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
   const uint32_t bytes = LoadU32(wire.data() + check::kBytesOff);
   if (bytes > seg->layout.obj_bytes ||
       wire.size() != check::kPayloadOff + bytes + sizeof(uint64_t)) {
-    ReportViolation(check::kHeaderCorrupt, dst, now,
-                    "byte count " + std::to_string(bytes) + " inconsistent with wire size " +
-                        std::to_string(wire.size()) + " from rank " + std::to_string(src));
+    if (report) {
+      ReportViolation(check::kHeaderCorrupt, dst, now,
+                      "byte count " + std::to_string(bytes) + " inconsistent with wire size " +
+                          std::to_string(wire.size()) + " from rank " + std::to_string(src));
+    }
     shadow.poisoned = true;
     return;
   }
@@ -201,21 +257,25 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
   // Seqlock protocol: a well-formed write carries equal nonzero stamps — a
   // writer that skipped WriteEnd (or never stamped) posts a torn image.
   if (seq_front == 0 || seq_front != seq_back) {
-    ReportViolation(check::kSeqlockProtocol, dst, now,
-                    "rank " + std::to_string(src) + " posted stamps front=" +
-                        std::to_string(seq_front) + " back=" + std::to_string(seq_back) +
-                        " (missing WriteEnd)");
+    if (report) {
+      ReportViolation(check::kSeqlockProtocol, dst, now,
+                      "rank " + std::to_string(src) + " posted stamps front=" +
+                          std::to_string(seq_front) + " back=" + std::to_string(seq_back) +
+                          " (missing WriteEnd)");
+    }
     // The slot content is torn from now on; a reader consuming it escapes.
     shadow.mid_write = true;
-    shadow.pending_seq = seq_front;
+    shadow.pending.seq = seq_front;
     return;
   }
 
   // Sender identity: queue q of this region belongs to senders[q] alone.
   if (src != seg->layout.senders[queue]) {
-    ReportViolation(check::kWrongQueue, dst, now,
-                    "rank " + std::to_string(src) + " wrote into the queue of sender " +
-                        std::to_string(seg->layout.senders[queue]));
+    if (report) {
+      ReportViolation(check::kWrongQueue, dst, now,
+                      "rank " + std::to_string(src) + " wrote into the queue of sender " +
+                          std::to_string(seg->layout.senders[queue]));
+    }
     shadow.poisoned = true;
     return;
   }
@@ -240,33 +300,153 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
                       "rank " + std::to_string(src) + " posted iter " + std::to_string(iter) +
                           " after " + std::to_string(q.last_posted_iter));
     }
+    // Overwrite-on-full accounting: this write laps a committed generation
+    // the reader never consumed. A lap is legal (the reader is more than
+    // queue_depth behind); the lost_update check at consume time flags
+    // drops that happened without one.
+    if (shadow.committed.seq != 0 && shadow.committed.seq > q.last_consumed_seq &&
+        seq_front > shadow.committed.seq) {
+      ++q.lost_updates;
+      lost_updates_.fetch_add(1, std::memory_order_relaxed);
+    }
     q.last_posted_seq = std::max(q.last_posted_seq, seq_front);
     q.last_posted_iter = std::max(q.last_posted_iter, iter);
+    if (concurrent_) {
+      // Record the stamp when the write *begins*: the SSP gate may observe
+      // the store the moment it lands, before the sender's completion hook
+      // runs, and the certifier must never lag the gate's legal view (that
+      // would manufacture staleness violations out of benign races).
+      q.newest_applied_iter =
+          std::max(q.newest_applied_iter, static_cast<int64_t>(iter));
+    }
   }
 
   const uint64_t hash =
       level_ == CheckLevel::kFull
           ? HashBytes(wire.subspan(check::kPayloadOff, bytes))
           : 0;
+  const Commit commit{seq_front, iter, bytes, hash};
 
   switch (phase) {
     case ApplyPhase::kFull:
-      CommitWrite(*seg, queue, slot, seq_front, iter, bytes, hash);
-      shadow.pending_seq = seq_front;
+      CommitWrite(*seg, queue, slot, commit);
+      shadow.pending = commit;
       break;
     case ApplyPhase::kFirstHalf:
       shadow.mid_write = true;
-      shadow.pending_seq = seq_front;
+      shadow.pending = commit;
       break;
     case ApplyPhase::kSecondHalf:
       // Only the newest begun write's completion makes the slot consistent;
       // a straggling second half of an older write leaves (or makes) it torn.
-      if (shadow.pending_seq == seq_front) {
-        CommitWrite(*seg, queue, slot, seq_front, iter, bytes, hash);
+      if (shadow.pending.seq == seq_front) {
+        CommitWrite(*seg, queue, slot, commit);
       } else {
         shadow.mid_write = true;
       }
       break;
+  }
+}
+
+// Concurrent-mode consume validation. The serialized checker demands the
+// consumed seq equal the committed seq at that exact instant; with real
+// threads the reader may validate a store between the sender's WriteEnd and
+// its completion hook, or a beat before the sender commits the next
+// generation. Legal outcomes, in order of checking: the in-flight write
+// itself (hash-checked against the pending image), the committed write or a
+// recent generation from the slot history (hash-checked), or something older
+// than the history window (accepted, unverifiable). A consumed seq newer
+// than anything the ledger has ever seen begun is a phantom.
+void ProtocolChecker::CheckConsumedConcurrent(ShadowSegment& seg, ShadowSlot& shadow,
+                                              int reader, int sender, size_t slot,
+                                              uint64_t seq_front,
+                                              std::span<const std::byte> payload,
+                                              SimTime now) {
+  const size_t depth = static_cast<size_t>(seg.layout.queue_depth);
+  if ((seq_front - 1) % depth != slot) {
+    ReportViolation(check::kSeqDiscipline, reader, now,
+                    "consumed seq " + std::to_string(seq_front) + " from slot " +
+                        std::to_string(slot) + ", round-robin expects slot " +
+                        std::to_string((seq_front - 1) % depth));
+    return;
+  }
+  const Commit* match = nullptr;
+  if (shadow.mid_write && shadow.pending.seq == seq_front) {
+    match = &shadow.pending;
+  } else if (shadow.committed.seq == seq_front) {
+    match = &shadow.committed;
+  } else {
+    for (const Commit& h : shadow.history) {
+      if (h.seq != 0 && h.seq == seq_front) {
+        match = &h;
+        break;
+      }
+    }
+  }
+  if (match != nullptr) {
+    if (level_ == CheckLevel::kFull &&
+        (payload.size() != match->bytes || HashBytes(payload) != match->hash)) {
+      ReportViolation(check::kTornReadEscape, reader, now,
+                      "payload of seq " + std::to_string(seq_front) + " from rank " +
+                          std::to_string(sender) +
+                          " does not match the posted write (torn bytes escaped the stamps)");
+    }
+    return;
+  }
+  if (seq_front > std::max(shadow.pending.seq, shadow.committed.seq)) {
+    ReportViolation(check::kPhantomRead, reader, now,
+                    "consumed seq " + std::to_string(seq_front) + " from rank " +
+                        std::to_string(sender) + " but the ledger has only seen seq " +
+                        std::to_string(std::max(shadow.pending.seq, shadow.committed.seq)) +
+                        " begin");
+  }
+  // Older than the history window: legal but unverifiable.
+}
+
+// Lost-update certification, run when a consume leaves a gap over the
+// queue's previous consume. Each skipped seq must be accounted for: lapped
+// by a write at least queue_depth ahead (overwrite-on-full, the protocol's
+// documented drop mode), observed torn/poisoned at the skip, overwritten in
+// the ledger, or plausibly missed by scan skew (a write landed after the
+// reader's last visit to that slot). A consistent, committed, never-consumed
+// update that the reader demonstrably saw and stepped over is a lost update.
+void ProtocolChecker::CheckLostUpdates(ShadowSegment& seg, ShadowQueue& q, size_t queue,
+                                       int reader, int sender, uint64_t consumed_seq,
+                                       SimTime now) {
+  if (consumed_seq <= q.last_consumed_seq + 1) {
+    return;  // no gap
+  }
+  const size_t depth = static_cast<size_t>(seg.layout.queue_depth);
+  uint64_t lo = q.last_consumed_seq + 1;
+  if (consumed_seq > depth && lo < consumed_seq - depth) {
+    // Anything a full lap below the consumed seq was necessarily overwritten
+    // (posts are contiguous); only the last lap can hide an illegal drop.
+    lo = consumed_seq - depth;
+  }
+  for (uint64_t s = lo; s < consumed_seq; ++s) {
+    if (q.last_posted_seq >= s + depth) {
+      continue;  // lapped: a legal overwrite-on-full drop
+    }
+    ShadowSlot& sl = seg.slots[queue * depth + static_cast<size_t>((s - 1) % depth)];
+    if (sl.mid_write || sl.poisoned || sl.reader_saw_torn) {
+      continue;  // torn when the reader passed it
+    }
+    if (std::max(sl.pending.seq, sl.committed.seq) > s) {
+      continue;  // overwritten since
+    }
+    if (sl.committed.seq != s) {
+      continue;  // never fully landed: not attributable to the reader
+    }
+    if (sl.writes_begun != sl.writes_begun_at_last_read) {
+      continue;  // scan skew: the slot changed after the reader's last visit
+    }
+    ReportViolation(check::kLostUpdate, reader, now,
+                    "consumed seq " + std::to_string(consumed_seq) + " from rank " +
+                        std::to_string(sender) + " but seq " + std::to_string(s) +
+                        " sits committed and unconsumed without a queue-depth lap (depth " +
+                        std::to_string(depth) + ", last posted " +
+                        std::to_string(q.last_posted_seq) + ")");
+    break;  // one report per consume keeps counts deterministic
   }
 }
 
@@ -277,15 +457,17 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
   if (!enabled()) {
     return;
   }
-  ShadowSegment* seg = FindSegment(reader, rkey);
+  std::shared_lock<std::shared_mutex> reg_lock(reg_mu_);
+  ShadowSegment* seg = FindSegmentLocked(reader, rkey);
   if (seg == nullptr) {
     return;
   }
-  ++events_checked_;
+  events_checked_.fetch_add(1, std::memory_order_relaxed);
   const size_t depth = static_cast<size_t>(seg->layout.queue_depth);
   const size_t queue = static_cast<size_t>(queue_pos);
   MALT_CHECK(queue < seg->queues.size() && static_cast<size_t>(slot) < depth)
       << "slot read outside segment geometry";
+  std::lock_guard<std::mutex> lock(StripeFor(reader, rkey, queue));
   ShadowSlot& shadow = seg->slots[queue * depth + static_cast<size_t>(slot)];
   ShadowQueue& q = seg->queues[queue];
   const int sender = seg->layout.senders[queue];
@@ -298,19 +480,28 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
                             std::to_string(sender) + " despite stamps front=" +
                             std::to_string(seq_front) + " back=" + std::to_string(seq_back));
       }
-      if (shadow.poisoned || shadow.mid_write) {
+      if (concurrent_) {
+        if (shadow.poisoned) {
+          ReportViolation(check::kTornReadEscape, reader, now,
+                          "consumed seq " + std::to_string(seq_front) + " from rank " +
+                              std::to_string(sender) + " while the slot was poisoned");
+        } else {
+          CheckConsumedConcurrent(*seg, shadow, reader, sender, static_cast<size_t>(slot),
+                                  seq_front, payload, now);
+        }
+      } else if (shadow.poisoned || shadow.mid_write) {
         ReportViolation(check::kTornReadEscape, reader, now,
                         "consumed seq " + std::to_string(seq_front) + " from rank " +
                             std::to_string(sender) + " while the slot was " +
                             (shadow.poisoned ? "poisoned" : "mid-write"));
-      } else if (seq_front != shadow.committed_seq) {
+      } else if (seq_front != shadow.committed.seq) {
         ReportViolation(check::kPhantomRead, reader, now,
                         "consumed seq " + std::to_string(seq_front) + " from rank " +
                             std::to_string(sender) + " but the ledger holds seq " +
-                            std::to_string(shadow.committed_seq));
+                            std::to_string(shadow.committed.seq));
       } else if (level_ == CheckLevel::kFull) {
-        if (payload.size() != shadow.committed_bytes ||
-            HashBytes(payload) != shadow.committed_hash) {
+        if (payload.size() != shadow.committed.bytes ||
+            HashBytes(payload) != shadow.committed.hash) {
           ReportViolation(check::kTornReadEscape, reader, now,
                           "payload of seq " + std::to_string(seq_front) + " from rank " +
                               std::to_string(sender) +
@@ -330,17 +521,33 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
                             std::to_string(sender) + " after iter " +
                             std::to_string(q.last_consumed_iter));
       }
+      CheckLostUpdates(*seg, q, queue, reader, sender, seq_front, now);
       q.last_consumed_seq = std::max(q.last_consumed_seq, seq_front);
       q.last_consumed_iter = std::max(q.last_consumed_iter, static_cast<int64_t>(iter));
+      shadow.reader_saw_torn = false;
       break;
     }
     case ReadAction::kSkippedTorn: {
-      if (!shadow.mid_write && !shadow.poisoned && shadow.committed_seq != 0) {
+      bool spurious;
+      if (concurrent_) {
+        // Windowed: with real threads the in-flight write may have committed
+        // (and its completion hook run) before the reader's own hook gets
+        // here, so "the ledger says committed" is not proof of a misjudged
+        // read. Torn is spurious only if *no* write has touched the slot
+        // since the reader's previous visit — nothing was in flight at any
+        // point the reader could have observed.
+        spurious = !shadow.mid_write && !shadow.poisoned && shadow.committed.seq != 0 &&
+                   shadow.writes_begun == shadow.writes_begun_at_last_read;
+      } else {
+        spurious = !shadow.mid_write && !shadow.poisoned && shadow.committed.seq != 0;
+      }
+      if (spurious) {
         ReportViolation(check::kSpuriousTornSkip, reader, now,
                         "reader observed torn stamps front=" + std::to_string(seq_front) +
                             " back=" + std::to_string(seq_back) + " but the ledger says seq " +
-                            std::to_string(shadow.committed_seq) + " is committed");
+                            std::to_string(shadow.committed.seq) + " is committed");
       }
+      shadow.reader_saw_torn = true;
       break;
     }
     case ReadAction::kSkippedStale: {
@@ -350,8 +557,18 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
                             std::to_string(sender) + " skipped as stale (last consumed " +
                             std::to_string(q.last_consumed_seq) + ")");
       }
+      shadow.reader_saw_torn = false;
       break;
     }
+  }
+  // Refresh the reader-visit window only when the ledger still matches what
+  // the reader observed. The hook runs after the reader's raw slot read, so
+  // a write landing in between would otherwise be credited as "seen" —
+  // manufacturing lost_update reports out of benign scan races. An in-flight
+  // begin (single writer per queue: at most one) is likewise discounted,
+  // since it may predate the hook but postdate the read.
+  if (shadow.committed.seq == seq_front) {
+    shadow.writes_begun_at_last_read = shadow.writes_begun - (shadow.mid_write ? 1 : 0);
   }
 }
 
@@ -359,7 +576,8 @@ void ProtocolChecker::OnBarrierEnter(int rank, uint64_t round, SimTime now) {
   if (!enabled()) {
     return;
   }
-  ++events_checked_;
+  events_checked_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(barrier_mu_);
   const size_t r = static_cast<size_t>(rank);
   if (round < entered_round_[r]) {
     ReportViolation(check::kBarrierRegression, rank, now,
@@ -376,7 +594,8 @@ void ProtocolChecker::OnBarrierExit(int rank, uint64_t round, std::span<const in
   if (!enabled()) {
     return;
   }
-  ++events_checked_;
+  events_checked_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(barrier_mu_);
   const size_t r = static_cast<size_t>(rank);
   for (int member : members) {
     if (member == rank || finished_[static_cast<size_t>(member)]) {
@@ -402,6 +621,7 @@ void ProtocolChecker::OnRankFinished(int rank) {
   if (!enabled()) {
     return;
   }
+  std::lock_guard<std::mutex> lock(barrier_mu_);
   finished_[static_cast<size_t>(rank)] = true;
 }
 
@@ -409,7 +629,8 @@ void ProtocolChecker::OnVolScatter(int rank, int segment, uint32_t iter, SimTime
   if (!enabled()) {
     return;
   }
-  ++events_checked_;
+  events_checked_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(vol_mu_);
   auto [it, inserted] = vol_stamp_.try_emplace({rank, segment}, iter);
   if (!inserted) {
     if (iter < it->second) {
@@ -426,17 +647,19 @@ void ProtocolChecker::OnSspProceed(int rank, int segment, uint32_t iter,
   if (!enabled() || ssp_bound_ < 0) {
     return;
   }
-  ShadowSegment* seg = FindSegmentById(rank, segment);
+  std::shared_lock<std::shared_mutex> reg_lock(reg_mu_);
+  ShadowSegment* seg = FindSegmentByIdLocked(rank, segment);
   if (seg == nullptr) {
     return;
   }
-  ++events_checked_;
-  // The slowest live in-neighbor, from the ledger's fully-applied stamps (an
+  events_checked_.fetch_add(1, std::memory_order_relaxed);
+  // The slowest live in-neighbor, from the ledger's applied stamps (an
   // independent path from the region reads the SSP gate itself used).
   int64_t min_peer = -2;  // -2: no live in-neighbor (gate vacuously open)
   for (int sender : live_senders) {
     for (size_t queue = 0; queue < seg->layout.senders.size(); ++queue) {
       if (seg->layout.senders[queue] == sender) {
+        std::lock_guard<std::mutex> lock(StripeFor(rank, seg->rkey, queue));
         const int64_t newest = seg->queues[queue].newest_applied_iter;
         min_peer = min_peer == -2 ? newest : std::min(min_peer, newest);
         break;
@@ -456,18 +679,22 @@ const std::vector<uint64_t>& ProtocolChecker::VectorClock(int rank) const {
 }
 
 int64_t ProtocolChecker::CountFor(const std::string& kind) const {
+  std::lock_guard<std::mutex> lock(report_mu_);
   const auto it = by_kind_.find(kind);
   return it == by_kind_.end() ? 0 : it->second;
 }
 
 std::string ProtocolChecker::ReportJson() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
   std::string out;
   out += "{\"level\":";
   AppendJsonEscaped(&out, ToString(level_));
   out += ",\"events\":";
-  AppendJsonNumber(&out, static_cast<double>(events_checked_));
+  AppendJsonNumber(&out, static_cast<double>(events_checked()));
   out += ",\"violations\":";
-  AppendJsonNumber(&out, static_cast<double>(violation_count_));
+  AppendJsonNumber(&out, static_cast<double>(violation_count()));
+  out += ",\"lost_updates\":";
+  AppendJsonNumber(&out, static_cast<double>(lost_updates()));
   out += ",\"by_kind\":{";
   bool first = true;
   for (const auto& [kind, count] : by_kind_) {

@@ -1,14 +1,34 @@
 // Protocol checker — a happens-before / torn-write validator for the dstorm
 // one-sided memory protocol (DESIGN.md §9).
 //
-// The simulator serializes all rank execution, so the checker can shadow the
-// entire cluster deterministically: every one-sided write the fabric applies
+// The checker shadows the cluster: every one-sided write a transport applies
 // and every gather read dstorm performs is mirrored into a per-slot ledger,
 // and the reader's decisions (consume / skip-torn / skip-stale) are validated
-// against what the ledger says the slot actually contained at that instant.
-// A second component tracks barrier rounds with per-rank vector clocks and
-// certifies barrier separation (no rank exits round R before every live
-// group member entered R) plus the SSP staleness bound.
+// against what the ledger says the slot actually contained. A second
+// component tracks barrier rounds with per-rank vector clocks and certifies
+// barrier separation (no rank exits round R before every live group member
+// entered R) plus the SSP staleness bound.
+//
+// The checker runs in two modes:
+//
+//   serialized (default) — the simulator executes one rank at a time, so the
+//   ledger knows the slot's exact content at every instant and the checks
+//   are exact equalities ("the consumed seq IS the committed seq").
+//
+//   concurrent (SetConcurrent(true)) — ranks are real threads (the shmem
+//   transport). Hooks fire from the sender's and the reader's own threads;
+//   the ledger is sharded with lock striping keyed by (node, rkey, queue) so
+//   the checker itself is TSan-clean. Exact-instant assertions are replaced
+//   by concurrency-tolerant ones: a read overlapping an in-flight write is
+//   legal iff the reader reported it torn (seqlock parity); a consumed seq
+//   may be the in-flight commit or a recent one from a short per-slot
+//   history; `spurious_torn_skip` becomes a windowed check (torn is spurious
+//   only if no write touched the slot since the reader's previous read); and
+//   `lost_update` accounting counts overwrite-on-full drops against the
+//   queue-depth bound. Soundness rests on the transport's seqlock ordering:
+//   the sender's begin-hook runs before its WriteBegin (release), and a
+//   reader that validated a write's content runs its hook after that, so the
+//   ledger is never behind what the reader could legally observe.
 //
 // The checker restates the dstorm slot wire format independently (constants
 // below) on purpose: if the protocol and the checker ever disagree, every
@@ -17,8 +37,9 @@
 // Levels (MaltOptions::check / malt_run --check):
 //   off   — every hook early-returns; the shadow state is never touched.
 //   cheap — ledger + barrier + staleness checks (integer compares only).
-//   full  — cheap plus payload hashing (byte-exact torn-read escapes) and a
-//           trace instant per violation on the observing rank's ring.
+//   full  — cheap plus payload hashing (byte-exact torn-read escapes) and,
+//           in serialized mode, a trace instant per violation on the
+//           observing rank's ring.
 //
 // Violations are recorded (capped sample list + per-kind counts), counted in
 // the observing rank's telemetry registry as `check.violations.<kind>`, and
@@ -27,10 +48,14 @@
 #ifndef SRC_CHECK_CHECK_H_
 #define SRC_CHECK_CHECK_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -72,16 +97,27 @@ inline constexpr const char* kIterRegression = "iter_regression";
 inline constexpr const char* kDuplicateConsume = "duplicate_consume";
 inline constexpr const char* kPhantomRead = "phantom_read";
 inline constexpr const char* kSpuriousTornSkip = "spurious_torn_skip";
+inline constexpr const char* kLostUpdate = "lost_update";
 inline constexpr const char* kBarrierSeparation = "barrier_separation";
 inline constexpr const char* kBarrierRegression = "barrier_round_regression";
 inline constexpr const char* kSspStaleness = "ssp_staleness";
+
+// Every kind above, for counter pre-registration (BindTelemetry caches one
+// counter per rank per kind so ReportViolation never touches the registry
+// map from a foreign thread).
+inline constexpr std::array<const char*, 14> kAllKinds = {
+    kTornReadEscape, kSeqlockProtocol, kSeqDiscipline,    kWrongQueue,
+    kSlotMisaligned, kHeaderCorrupt,   kIterRegression,   kDuplicateConsume,
+    kPhantomRead,    kSpuriousTornSkip, kLostUpdate,      kBarrierSeparation,
+    kBarrierRegression, kSspStaleness,
+};
 
 }  // namespace check
 
 struct Violation {
   const char* kind = "";
   int rank = -1;      // rank on which the violation was observed
-  SimTime time = 0;   // virtual time of the observing event
+  SimTime time = 0;   // time of the observing event (virtual or wall ns)
   std::string detail;
 };
 
@@ -96,10 +132,14 @@ class ProtocolChecker {
     std::vector<int> senders;  // in-edge list; queue q belongs to senders[q]
   };
 
-  // How the fabric applied a remote write to the destination region.
+  // How the transport applied a remote write to the destination region.
+  // The simulated fabric uses kFull for whole writes and the half pair for
+  // its torn-write fault injection; the shmem transport brackets every real
+  // store with kFirstHalf (before the seqlock'd copy) and kSecondHalf
+  // (after), so the ledger always knows a write is in flight.
   enum class ApplyPhase : uint8_t {
     kFull = 0,        // whole payload landed in one event
-    kFirstHalf = 1,   // torn-write simulation: first half only
+    kFirstHalf = 1,   // first half only / store about to start
     kSecondHalf = 2,  // the matching completion of a kFirstHalf
   };
 
@@ -112,9 +152,18 @@ class ProtocolChecker {
 
   ProtocolChecker(CheckLevel level, int world);
 
-  // Routes violation counters (and, at full level, trace instants) into the
-  // observing rank's registry. Optional; safe to skip in standalone stacks.
+  // Routes violation counters (and, serialized full level, trace instants)
+  // into the observing rank's registry. Optional; safe to skip in standalone
+  // stacks. Call before traffic starts: it pre-registers one counter per
+  // (rank, kind) so the hot path never mutates a registry map.
   void BindTelemetry(TelemetryDomain* telemetry);
+
+  // Concurrent mode: hooks may fire from many threads at once and the
+  // exact-instant assertions are relaxed to concurrency-tolerant ones (see
+  // file comment). Must be set before traffic starts (the shmem runtime sets
+  // it at construction).
+  void SetConcurrent(bool concurrent) { concurrent_ = concurrent; }
+  bool concurrent() const { return concurrent_; }
 
   CheckLevel level() const { return level_; }
   bool enabled() const { return level_ != CheckLevel::kOff; }
@@ -128,11 +177,12 @@ class ProtocolChecker {
 
   void OnSegmentCreate(int node, uint32_t rkey, int segment, SegmentLayout layout);
 
-  // --- fabric-side events (one-sided write applied to a region) -------------
+  // --- transport-side events (one-sided write applied to a region) ----------
 
-  // `wire` is the full posted image (the fabric snapshots payloads at post
-  // time, so it is available even for split applies). Unregistered regions
-  // (barrier counters, probe scratch, accumulators) are ignored.
+  // `wire` is the full posted image (transports snapshot or hold the payload
+  // across the apply, so it is available even for split applies).
+  // Unregistered regions (barrier counters, probe scratch, accumulators) are
+  // ignored. Thread-safe; call from the applying (sender's) thread.
   void OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t offset,
                           std::span<const std::byte> wire, ApplyPhase phase, SimTime now);
 
@@ -140,6 +190,7 @@ class ProtocolChecker {
 
   // `payload` is what the reader is about to hand to the application; only
   // needed for kConsumed (used for byte-exact validation at full level).
+  // Thread-safe; call from the reading rank's thread.
   void OnSlotRead(int reader, uint32_t rkey, int queue_pos, int slot, uint64_t seq_front,
                   uint64_t seq_back, uint32_t iter, std::span<const std::byte> payload,
                   ReadAction action, SimTime now);
@@ -156,13 +207,14 @@ class ProtocolChecker {
   void OnVolScatter(int rank, int segment, uint32_t iter, SimTime now);
 
   // SSP gate release: `rank` proceeds at `iter`; the checker recomputes the
-  // slowest live in-neighbor from its own shadow (newest fully-applied stamp
-  // per queue) and flags iter - min_peer > staleness_bound().
+  // slowest live in-neighbor from its own shadow (newest applied stamp per
+  // queue) and flags iter - min_peer > staleness_bound().
   void OnSspProceed(int rank, int segment, uint32_t iter, std::span<const int> live_senders,
                     SimTime now);
 
   // Vector clock of `rank` over barrier rounds: entry m is the newest round
-  // `rank` knows m to have entered (via barrier joins).
+  // `rank` knows m to have entered (via barrier joins). Post-run accessor:
+  // do not call while rank threads are still inside barriers.
   const std::vector<uint64_t>& VectorClock(int rank) const;
 
   // Manual report (used by auxiliary validators and fault-injection tests).
@@ -170,10 +222,21 @@ class ProtocolChecker {
 
   // --- results ---------------------------------------------------------------
 
-  int64_t events_checked() const { return events_checked_; }
-  int64_t violation_count() const { return violation_count_; }
+  int64_t events_checked() const {
+    return events_checked_.load(std::memory_order_relaxed);
+  }
+  int64_t violation_count() const {
+    return violation_count_.load(std::memory_order_relaxed);
+  }
+  // Overwrite-on-full drops observed at apply time (accounting, not a
+  // violation by itself: laps are legal when the reader falls more than
+  // queue_depth behind; `lost_update` fires when a drop has no lap).
+  int64_t lost_updates() const {
+    return lost_updates_.load(std::memory_order_relaxed);
+  }
   int64_t CountFor(const std::string& kind) const;
-  // Capped sample of violations (first kMaxStoredViolations).
+  // Capped sample of violations (first kMaxStoredViolations). Post-run
+  // accessor: the returned reference is unguarded.
   const std::vector<Violation>& violations() const { return violations_; }
 
   // {"level":...,"events":N,"violations":N,"by_kind":{...},"samples":[...]}
@@ -181,14 +244,33 @@ class ProtocolChecker {
   Status WriteReportJson(const std::string& path) const;
 
  private:
+  // One committed slot generation: what a consistent read of the slot at
+  // that point would have returned.
+  struct Commit {
+    uint64_t seq = 0;
+    uint32_t iter = 0;
+    uint32_t bytes = 0;
+    uint64_t hash = 0;  // payload hash (full level only)
+  };
+
   struct ShadowSlot {
-    uint64_t committed_seq = 0;   // last fully applied write
-    uint32_t committed_iter = 0;
-    uint32_t committed_bytes = 0;
-    uint64_t committed_hash = 0;  // payload hash (full level only)
-    bool mid_write = false;       // first half applied, second pending
+    Commit committed;             // newest fully applied write
+    // Short ring of older commits. In concurrent mode a reader may validate
+    // a write and report it a beat after the sender committed the next one;
+    // a consume matching a recent generation is legal (and hash-checked at
+    // full level) instead of a phantom.
+    static constexpr size_t kHistory = 4;
+    std::array<Commit, kHistory> history;
+    size_t history_next = 0;
+    bool mid_write = false;       // first half applied / store in flight
     bool poisoned = false;        // a protocol-violating write landed here
-    uint64_t pending_seq = 0;
+    bool reader_saw_torn = false; // last reader visit reported torn
+    Commit pending;               // the write named by mid_write
+    // Write-window counters for the relaxed torn-skip / lost-update rules:
+    // how many writes have begun on this slot, ever, and the value of that
+    // counter when the reader last visited the slot.
+    uint64_t writes_begun = 0;
+    uint64_t writes_begun_at_last_read = 0;
   };
 
   struct ShadowQueue {
@@ -196,42 +278,79 @@ class ProtocolChecker {
     uint32_t last_posted_iter = 0;
     uint64_t last_consumed_seq = 0;
     int64_t last_consumed_iter = -1;
-    int64_t newest_applied_iter = -1;  // newest fully-applied stamp
+    int64_t newest_applied_iter = -1;  // newest applied stamp (see OnSspProceed)
+    int64_t lost_updates = 0;          // overwrite-on-full drops (accounting)
   };
 
   struct ShadowSegment {
     SegmentLayout layout;
     int segment = -1;
+    uint32_t rkey = 0;  // back-reference for stripe keying (OnSspProceed)
     std::vector<ShadowSlot> slots;    // [queue * depth + slot]
     std::vector<ShadowQueue> queues;  // [queue]
   };
 
   static constexpr size_t kMaxStoredViolations = 128;
+  // Lock striping for the shadow ledger. A stripe is keyed by
+  // (node, rkey, queue): the queue is the protocol's unit of sharing — one
+  // sender thread writes it, one reader thread consumes it — and all of a
+  // queue's slots plus its ShadowQueue counters live under one stripe, so
+  // cross-slot rules (lost-update gap accounting) stay atomic. Distinct
+  // queues hash to mostly distinct stripes and proceed in parallel.
+  static constexpr size_t kLedgerStripes = 64;
 
-  ShadowSegment* FindSegment(int node, uint32_t rkey);
-  ShadowSegment* FindSegmentById(int node, int segment);
-  void CommitWrite(ShadowSegment& seg, size_t queue, size_t slot, uint64_t seq, uint32_t iter,
-                   uint32_t bytes, uint64_t hash);
+  std::mutex& StripeFor(int node, uint32_t rkey, size_t queue) const;
+
+  // Callers hold reg_mu_ (shared).
+  ShadowSegment* FindSegmentLocked(int node, uint32_t rkey) const;
+  ShadowSegment* FindSegmentByIdLocked(int node, int segment) const;
+  // Callers hold the queue's stripe mutex.
+  void CommitWrite(ShadowSegment& seg, size_t queue, size_t slot, const Commit& commit);
+  void CheckConsumedConcurrent(ShadowSegment& seg, ShadowSlot& shadow, int reader, int sender,
+                               size_t slot, uint64_t seq_front,
+                               std::span<const std::byte> payload, SimTime now);
+  void CheckLostUpdates(ShadowSegment& seg, ShadowQueue& q, size_t queue, int reader,
+                        int sender, uint64_t consumed_seq, SimTime now);
 
   CheckLevel level_;
   int world_;
+  bool concurrent_ = false;
   int64_t ssp_bound_ = -1;  // <0: no bound advertised
   TelemetryDomain* telemetry_ = nullptr;
 
+  // Pre-resolved violation counters: [rank] -> total + one per kind in
+  // check::kAllKinds. Counter bumps are relaxed atomics, safe from any
+  // thread; resolving them lazily would race the owning rank's registry.
+  struct RankCounters {
+    Counter* total = nullptr;
+    std::array<Counter*, check::kAllKinds.size()> per_kind{};
+  };
+  std::vector<RankCounters> rank_counters_;
+
+  // Registration (rare, before traffic) vs lookup (hot): a shared_mutex
+  // keeps lookups concurrent. ShadowSegments are held by unique_ptr so
+  // pointers stay stable across registrations.
+  mutable std::shared_mutex reg_mu_;
   // [node][rkey] -> shadow (null for unregistered rkeys).
   std::vector<std::vector<std::unique_ptr<ShadowSegment>>> shadows_;
 
-  // Barrier tracking.
+  mutable std::array<std::mutex, kLedgerStripes> ledger_mu_;
+
+  // Barrier tracking (one mutex: barrier entry/exit is not a hot path).
+  mutable std::mutex barrier_mu_;
   std::vector<uint64_t> entered_round_;
   std::vector<uint64_t> exited_round_;
   std::vector<bool> finished_;
   std::vector<std::vector<uint64_t>> vclock_;  // [rank][rank]
 
   // VOL scatter stamps: (rank, segment) -> last outgoing stamp.
+  std::mutex vol_mu_;
   std::map<std::pair<int, int>, uint32_t> vol_stamp_;
 
-  int64_t events_checked_ = 0;
-  int64_t violation_count_ = 0;
+  std::atomic<int64_t> events_checked_{0};
+  std::atomic<int64_t> violation_count_{0};
+  std::atomic<int64_t> lost_updates_{0};
+  mutable std::mutex report_mu_;  // guards by_kind_ + violations_
   std::map<std::string, int64_t> by_kind_;
   std::vector<Violation> violations_;
 };
@@ -240,7 +359,8 @@ class ProtocolChecker {
 // event stream: WriteBegin must take the sequence even->odd, WriteEnd
 // odd->even, and a read may only validate against an even begin sequence that
 // is still current at validate time. Violations are reported into the
-// ProtocolChecker as `seqlock_protocol`.
+// ProtocolChecker as `seqlock_protocol`. Single-threaded: one discipline
+// instance tracks one lock from one observer's event order.
 class SeqLockDiscipline {
  public:
   SeqLockDiscipline(ProtocolChecker* checker, int rank) : checker_(checker), rank_(rank) {}

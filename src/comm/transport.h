@@ -182,8 +182,9 @@ class Transport {
   virtual bool NodeAlive(int node) const = 0;
 
   // Partition injection: when false, writes between a and b fail (both
-  // ways). Sim-only; the shmem backend aborts on SetReachable.
-  virtual void SetReachable(int a, int b, bool reachable) = 0;
+  // ways). The simulated fabric models this; backends without a network to
+  // partition (shmem) return a FailedPrecondition error instead.
+  virtual Status SetReachable(int a, int b, bool reachable) = 0;
   virtual bool Reachable(int a, int b) const = 0;
 };
 

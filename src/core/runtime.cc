@@ -220,18 +220,8 @@ Graph Malt::BuildDataflow(const MaltOptions& options) {
   __builtin_unreachable();
 }
 
-MaltOptions Malt::Sanitize(MaltOptions options) {
-  if (options.transport == TransportKind::kShmem && options.check != CheckLevel::kOff) {
-    // The protocol checker's shadow state is not thread-safe; it validates
-    // the sim schedule only.
-    MALT_LOG_S(kWarning) << "protocol checking is sim-only; disabled under --transport=shmem";
-    options.check = CheckLevel::kOff;
-  }
-  return options;
-}
-
 Malt::Malt(MaltOptions options)
-    : options_(Sanitize(std::move(options))),
+    : options_(std::move(options)),
       telemetry_(options_.ranks, options_.telemetry),
       checker_(options_.check, options_.ranks),
       dataflow_(BuildDataflow(options_)),
@@ -243,7 +233,12 @@ Malt::Malt(MaltOptions options)
                                        &checker_);
     transport_ = fabric_.get();
   } else {
-    shmem_ = std::make_unique<ShmemTransport>(options_.ranks, ShmemOptions{}, &telemetry_);
+    // Ranks are real threads here: switch the checker to its concurrent
+    // ledger (lock-striped, relaxed assertions) before the transport sees
+    // any traffic.
+    checker_.SetConcurrent(true);
+    shmem_ = std::make_unique<ShmemTransport>(options_.ranks, ShmemOptions{}, &telemetry_,
+                                              &checker_);
     transport_ = shmem_.get();
   }
   domain_ = std::make_unique<DstormDomain>(*transport_, options_.ranks, &telemetry_);

@@ -155,7 +155,8 @@ class Malt {
 
   // The protocol checker validating this run (level MaltOptions::check; an
   // off-level checker still answers queries, it just never recorded events).
-  // Checking is sim-only: under the shmem transport the level is forced off.
+  // Transport-agnostic: the sim drives it from serialized events, the shmem
+  // transport from the ranks' own threads (concurrent mode).
   ProtocolChecker& checker() { return checker_; }
   const ProtocolChecker& checker() const { return checker_; }
 
@@ -179,7 +180,6 @@ class Malt {
 
  private:
   static Graph BuildDataflow(const MaltOptions& options);
-  static MaltOptions Sanitize(MaltOptions options);
   void RunSim(const std::function<void(Worker&)>& body);
   void RunShmem(const std::function<void(Worker&)>& body);
 

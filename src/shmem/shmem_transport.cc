@@ -68,18 +68,26 @@ ShmemTransport::Region::Region(size_t bytes_arg, size_t stripe_arg)
   }
 }
 
-ShmemTransport::ShmemTransport(int nodes, ShmemOptions options, TelemetryDomain* telemetry)
+ShmemTransport::ShmemTransport(int nodes, ShmemOptions options, TelemetryDomain* telemetry,
+                               ProtocolChecker* checker)
     : nodes_(nodes),
       options_(options),
       owned_telemetry_(telemetry == nullptr ? std::make_unique<TelemetryDomain>(nodes)
                                             : nullptr),
       telemetry_(telemetry == nullptr ? owned_telemetry_.get() : telemetry),
-      checker_(std::make_unique<ProtocolChecker>(CheckLevel::kOff, nodes)),
+      owned_checker_(checker == nullptr
+                         ? std::make_unique<ProtocolChecker>(CheckLevel::kOff, nodes)
+                         : nullptr),
+      checker_(checker == nullptr ? owned_checker_.get() : checker),
       stats_(nodes),
       regions_(static_cast<size_t>(nodes)),
       next_wr_id_(static_cast<size_t>(nodes), 1) {
   MALT_CHECK(nodes >= 1) << "shmem transport needs at least one rank";
   MALT_CHECK(telemetry_->ranks() >= nodes) << "telemetry domain smaller than transport";
+  // A bound checker's hooks fire concurrently from every rank's thread; its
+  // exact-instant (serialized) mode would misreport benign races.
+  MALT_CHECK(!checker_->enabled() || checker_->concurrent())
+      << "a checker bound to the shmem transport must be in concurrent mode";
   counters_.resize(static_cast<size_t>(nodes));
   for (int node = 0; node < nodes; ++node) {
     MetricRegistry& reg = telemetry_->rank(node).metrics;
@@ -251,8 +259,21 @@ Result<uint64_t> ShmemTransport::PostWrite(int src, SimTime now, MrHandle dst_mr
       status = WcStatus::kInvalidRkey;
     } else {
       // The sender's CPU is the DMA engine: copy into the peer's segment
-      // under the stripe guard, receiver uninvolved.
+      // under the stripe guard, receiver uninvolved. The checker's apply
+      // hooks bracket the store: the begin hook precedes the seqlock
+      // WriteBegin, so a reader that validated this content (acquire on the
+      // guard) is guaranteed to observe the ledger entry, and the end hook
+      // marks the write consistent once the stamps are in place.
+      const bool checked = checker_->enabled();
+      if (checked) {
+        checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, data,
+                                     ProtocolChecker::ApplyPhase::kFirstHalf, clock_.NowNs());
+      }
       GuardedStore(*region, dst_offset, data);
+      if (checked) {
+        checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, data,
+                                     ProtocolChecker::ApplyPhase::kSecondHalf, clock_.NowNs());
+      }
     }
   }
   AccountPost(src, dst, data.size(), /*float_add=*/false);
@@ -319,11 +340,13 @@ bool ShmemTransport::CqNonEmpty(int node) const {
   return !cq_[static_cast<size_t>(node)].Empty();
 }
 
-void ShmemTransport::SetReachable(int a, int b, bool reachable) {
+Status ShmemTransport::SetReachable(int a, int b, bool reachable) {
   (void)a;
   (void)b;
   (void)reachable;
-  MALT_CHECK(false) << "partition injection is sim-only; use --transport=sim";
+  return FailedPreconditionError(
+      "partition injection needs a network to partition; the shmem transport has none "
+      "(use --transport=sim)");
 }
 
 bool ShmemTransport::Reachable(int a, int b) const { return NodeAlive(a) && NodeAlive(b); }

@@ -19,12 +19,20 @@
 //      of completions. Writes apply inline, so a rank's own post is the only
 //      producer and its own poll the only consumer.
 //
+// The protocol checker (src/check/check.h) runs here too: when a checker is
+// bound at construction, every one-sided write is bracketed with
+// kFirstHalf/kSecondHalf apply hooks around the seqlock'd store, from the
+// sender's own thread. The seqlock's release/acquire ordering guarantees a
+// reader that validated the store runs its read hooks after the sender's
+// begin hook, which is what makes the concurrent ledger sound.
+//
 // What this backend deliberately does NOT model (see DESIGN.md §10): latency
 // or bandwidth shaping (writes land as fast as memcpy goes), network
-// partitions (SetReachable aborts), and kill scheduling in virtual time —
-// fail-stop is a cooperative cancellation flag checked at the rank's next
-// blocking point, with the node marked dead immediately so peers observe
-// error completions and failed probes just as on the simulated fabric.
+// partitions (SetReachable returns a FailedPrecondition error), and kill
+// scheduling in virtual time — fail-stop is a cooperative cancellation flag
+// checked at the rank's next blocking point, with the node marked dead
+// immediately so peers observe error completions and failed probes just as
+// on the simulated fabric.
 
 #ifndef SRC_SHMEM_SHMEM_TRANSPORT_H_
 #define SRC_SHMEM_SHMEM_TRANSPORT_H_
@@ -79,8 +87,12 @@ class CompletionRing {
 
 class ShmemTransport : public Transport {
  public:
+  // `checker` (optional) validates the one-sided write protocol live; it
+  // must be in concurrent mode (ProtocolChecker::SetConcurrent) and outlive
+  // the transport. Without one, an owned off-level checker answers queries.
   explicit ShmemTransport(int nodes, ShmemOptions options = ShmemOptions{},
-                          TelemetryDomain* telemetry = nullptr);
+                          TelemetryDomain* telemetry = nullptr,
+                          ProtocolChecker* checker = nullptr);
 
   TransportKind kind() const override { return TransportKind::kShmem; }
   int nodes() const override { return nodes_; }
@@ -121,8 +133,8 @@ class ShmemTransport : public Transport {
     return alive_[static_cast<size_t>(node)].load(std::memory_order_acquire);
   }
 
-  // Partition injection needs a network to partition; aborts here.
-  void SetReachable(int a, int b, bool reachable) override;
+  // Partition injection needs a network to partition; fails cleanly here.
+  Status SetReachable(int a, int b, bool reachable) override;
   bool Reachable(int a, int b) const override;
 
   // Fail-stop: marks `node` dead. Subsequent writes to it complete with
@@ -163,7 +175,8 @@ class ShmemTransport : public Transport {
   WallClock clock_;
   std::unique_ptr<TelemetryDomain> owned_telemetry_;
   TelemetryDomain* telemetry_;
-  std::unique_ptr<ProtocolChecker> checker_;  // always off-level (sim-only feature)
+  std::unique_ptr<ProtocolChecker> owned_checker_;  // off-level fallback
+  ProtocolChecker* checker_;
   std::vector<NodeCounters> counters_;        // [node]
   TrafficStats stats_;
 

@@ -122,11 +122,12 @@ bool Fabric::HasSendRoom(int node) const {
 
 int Fabric::OutstandingWrites(int node) const { return outstanding_[static_cast<size_t>(node)]; }
 
-void Fabric::SetReachable(int a, int b, bool reachable) {
+Status Fabric::SetReachable(int a, int b, bool reachable) {
   unreachable_[static_cast<size_t>(a) * static_cast<size_t>(nodes_) + static_cast<size_t>(b)] =
       !reachable;
   unreachable_[static_cast<size_t>(b) * static_cast<size_t>(nodes_) + static_cast<size_t>(a)] =
       !reachable;
+  return OkStatus();
 }
 
 bool Fabric::Reachable(int a, int b) const {

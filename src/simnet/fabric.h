@@ -135,7 +135,7 @@ class Fabric : public Transport {
   bool NodeAlive(int node) const override { return alive_[static_cast<size_t>(node)]; }
 
   // Partition injection: when false, writes between a and b fail (both ways).
-  void SetReachable(int a, int b, bool reachable) override;
+  Status SetReachable(int a, int b, bool reachable) override;
   bool Reachable(int a, int b) const override;
 
  private:

@@ -1,0 +1,403 @@
+// Concurrent protocol checking (DESIGN.md §9): the checker validates the
+// one-sided protocol while ranks run as real threads on the shmem transport.
+// Planted violations must be caught with exact counts — an injected torn
+// write, a forged barrier separation, an SSP bound break — and legal racy
+// executions must produce zero false positives. The standalone tests below
+// pin the concurrent-mode relaxations (in-flight consumes, the commit
+// history ring, the windowed spurious-torn rule, lost-update accounting).
+// Runs clean under TSan (tools/check.sh MALT_SANITIZE=thread stage).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/check/check.h"
+#include "src/comm/graph.h"
+#include "src/dstorm/dstorm.h"
+#include "src/shmem/rank_ctx.h"
+#include "src/shmem/shmem_transport.h"
+
+namespace malt {
+namespace {
+
+using ApplyPhase = ProtocolChecker::ApplyPhase;
+using ReadAction = ProtocolChecker::ReadAction;
+
+std::span<const std::byte> AsBytes(const void* p, size_t n) {
+  return {static_cast<const std::byte*>(p), n};
+}
+
+uint64_t LoadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::vector<std::byte> Payload(size_t n, uint8_t seed) {
+  std::vector<std::byte> p(n);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::byte>(seed + i);
+  }
+  return p;
+}
+
+// A raw dstorm slot image: u64 seq_front | u32 iter | u32 bytes | payload |
+// u64 seq_back. Mismatched stamps model a writer that skipped WriteEnd.
+std::vector<std::byte> SlotImage(uint64_t seq_front, uint32_t iter,
+                                 std::span<const std::byte> payload, uint64_t seq_back) {
+  std::vector<std::byte> wire(check::kPayloadOff + payload.size() + sizeof(uint64_t));
+  const auto bytes = static_cast<uint32_t>(payload.size());
+  std::memcpy(wire.data() + check::kSeqFrontOff, &seq_front, sizeof(seq_front));
+  std::memcpy(wire.data() + check::kIterOff, &iter, sizeof(iter));
+  std::memcpy(wire.data() + check::kBytesOff, &bytes, sizeof(bytes));
+  std::memcpy(wire.data() + check::kPayloadOff, payload.data(), payload.size());
+  std::memcpy(wire.data() + check::kPayloadOff + payload.size(), &seq_back, sizeof(seq_back));
+  return wire;
+}
+
+// One-queue shadow segment for the standalone concurrent-mode tests:
+// stride AlignUp8(16 + 8 + 8) = 32, payload capacity 8, sender rank 1
+// writing into rank 0's region under rkey 7.
+constexpr uint32_t kRkey = 7;
+
+ProtocolChecker::SegmentLayout OneSenderLayout(int depth) {
+  ProtocolChecker::SegmentLayout layout;
+  layout.slot_stride = 32;
+  layout.obj_bytes = 8;
+  layout.queue_depth = depth;
+  layout.senders = {1};
+  return layout;
+}
+
+// Threaded harness like test_shmem_dstorm.cc's ShmemCluster, with a
+// concurrent-mode checker bound to the transport — dstorm registers segment
+// layouts and drives the read hooks, the transport drives the apply hooks.
+struct CheckedCluster {
+  explicit CheckedCluster(int n, CheckLevel level = CheckLevel::kFull)
+      : checker(level, n),
+        transport(n, ShmemOptions{}, nullptr, (checker.SetConcurrent(true), &checker)),
+        domain(transport, n) {}
+
+  void Run(const std::function<void(int, Dstorm&, ShmemRankCtx&)>& body) {
+    const int n = domain.size();
+    std::vector<std::unique_ptr<ShmemRankCtx>> ctxs;
+    for (int rank = 0; rank < n; ++rank) {
+      ctxs.push_back(std::make_unique<ShmemRankCtx>(rank, transport.clock()));
+    }
+    std::vector<std::thread> threads;
+    for (int rank = 0; rank < n; ++rank) {
+      threads.emplace_back([this, rank, &body, &ctxs] {
+        Dstorm& d = domain.node(rank);
+        d.BindCtx(*ctxs[static_cast<size_t>(rank)]);
+        try {
+          body(rank, d, *ctxs[static_cast<size_t>(rank)]);
+          d.FinishBarriers();
+        } catch (const ProcessKilled&) {
+          transport.MarkDead(rank);
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+
+  ProtocolChecker checker;
+  ShmemTransport transport;
+  DstormDomain domain;
+};
+
+// --- planted violations on the real transport ------------------------------
+
+// A rogue write that bypasses dstorm's Scatter posts a slot image with
+// mismatched stamps (a writer that "forgot" WriteEnd). The sender-side apply
+// hook must flag it exactly once — the second apply half carries the same
+// image and stays silent — and the reader's torn-skip of the poisoned slot
+// is legal, not a spurious skip.
+TEST(CheckShmem, InjectedTornWriteCaughtExactlyOnce) {
+  const int n = 2;
+  CheckedCluster cluster(n);
+  std::atomic<int> consumed{0};
+
+  cluster.Run([&](int rank, Dstorm& d, ShmemRankCtx& ctx) {
+    SegmentOptions opts;
+    opts.obj_bytes = 8;
+    opts.graph = AllToAllGraph(n);
+    opts.queue_depth = 2;
+    const SegmentId seg = d.CreateSegment(opts);
+    const MrHandle victim{1, static_cast<uint32_t>(seg) + 2};
+
+    if (rank == 0) {
+      // Rank 1's queue 0 belongs to sender 0; slot 0 sits at offset 0.
+      const auto rogue = SlotImage(1, 1, Payload(8, 0x5A), 0);  // front=1, back=0
+      ASSERT_TRUE(cluster.transport.PostWrite(0, ctx.Now(), victim, 0, rogue).ok());
+      ASSERT_TRUE(d.Barrier().ok());
+    } else {
+      ASSERT_TRUE(d.Barrier().ok());
+      // The rogue image's stamps are word-atomic stores; wait until the
+      // front stamp is visible here, then gather over the torn slot.
+      ctx.Wait([&] {
+        std::byte img[sizeof(uint64_t)];
+        return cluster.transport.Read(victim, 0, img) && LoadU64(img) == 1;
+      });
+      consumed.fetch_add(d.Gather(seg, [](const RecvObject&) {}));
+    }
+  });
+
+  EXPECT_EQ(consumed.load(), 0);  // the torn object never reached the app
+  EXPECT_EQ(cluster.checker.CountFor(check::kSeqlockProtocol), 1)
+      << cluster.checker.ReportJson();
+  EXPECT_EQ(cluster.checker.violation_count(), 1) << cluster.checker.ReportJson();
+}
+
+// Forging a delayed rank's barrier-arrival counter lets the other ranks sail
+// through the barrier without it: every rank that exits must be flagged for
+// breaking barrier separation against the rank that never entered.
+TEST(CheckShmem, ForgedArrivalBreaksBarrierSeparation) {
+  const int n = 3;
+  CheckedCluster cluster(n);
+  std::atomic<int> exited{0};
+
+  cluster.Run([&](int rank, Dstorm& d, ShmemRankCtx& ctx) {
+    if (rank == 2) {
+      // The delayed rank: never enters the barrier while the others run it.
+      ctx.Wait([&] { return exited.load() == 2; });
+      return;
+    }
+    if (rank == 0) {
+      // Forge rank 2's arrival at round 1 into both participants' counter
+      // arrays (rkey 0, one u64 per rank).
+      std::byte wire[sizeof(uint64_t)];
+      const uint64_t round = 1;
+      std::memcpy(wire, &round, sizeof(round));
+      cluster.transport.Write(MrHandle{0, 0}, 2 * sizeof(uint64_t), wire);
+      cluster.transport.Write(MrHandle{1, 0}, 2 * sizeof(uint64_t), wire);
+    }
+    ASSERT_TRUE(d.Barrier().ok());  // completes on the forged counter
+    exited.fetch_add(1);
+  });
+
+  // Ranks 0 and 1 both exited round 1 while rank 2 had not entered it.
+  EXPECT_EQ(cluster.checker.CountFor(check::kBarrierSeparation), 2)
+      << cluster.checker.ReportJson();
+  EXPECT_EQ(cluster.checker.violation_count(), 2) << cluster.checker.ReportJson();
+}
+
+// SSP certification from the concurrent ledger: the shadow's newest applied
+// stamp per queue is the independent record of how far each in-neighbor got.
+// A gate release within the bound is clean; one past it is flagged.
+TEST(CheckShmem, SspBoundBreakFlagged) {
+  const int n = 2;
+  CheckedCluster cluster(n);
+  cluster.checker.SetStalenessBound(2);
+  SegmentId seg_id = -1;
+
+  cluster.Run([&](int rank, Dstorm& d, ShmemRankCtx&) {
+    SegmentOptions opts;
+    opts.obj_bytes = 8;
+    opts.graph = AllToAllGraph(n);
+    opts.queue_depth = 2;
+    const SegmentId seg = d.CreateSegment(opts);
+    if (rank == 0) {
+      const double v = 1.0;
+      ASSERT_TRUE(d.Scatter(seg, AsBytes(&v, sizeof(v)), 1).ok());
+      seg_id = seg;
+    }
+    ASSERT_TRUE(d.Barrier().ok());
+  });
+  ASSERT_EQ(cluster.checker.violation_count(), 0) << cluster.checker.ReportJson();
+
+  // Rank 0's newest applied stamp on rank 1's shadow is iter 1.
+  const std::vector<int> live = {0};
+  cluster.checker.OnSspProceed(1, seg_id, 3, live, 0);  // 3 - 1 <= 2: legal
+  EXPECT_EQ(cluster.checker.violation_count(), 0) << cluster.checker.ReportJson();
+  cluster.checker.OnSspProceed(1, seg_id, 10, live, 0);  // 10 - 1 > 2: stale
+  EXPECT_EQ(cluster.checker.CountFor(check::kSspStaleness), 1)
+      << cluster.checker.ReportJson();
+  EXPECT_EQ(cluster.checker.violation_count(), 1) << cluster.checker.ReportJson();
+}
+
+// Zero false positives under real contention: 8 ranks racing scatter/gather
+// rounds with overwrite-on-full laps, torn in-flight reads, and periodic
+// barriers. Every relaxed rule gets exercised; none may fire.
+TEST(CheckShmem, EightRankStressHasNoFalsePositives) {
+  const int n = 8;
+  const int rounds = 30;
+  const size_t dim = 16;
+  CheckedCluster cluster(n);
+
+  cluster.Run([&](int rank, Dstorm& d, ShmemRankCtx&) {
+    SegmentOptions opts;
+    opts.obj_bytes = dim * sizeof(float);
+    opts.graph = AllToAllGraph(n);
+    opts.queue_depth = 2;
+    const SegmentId seg = d.CreateSegment(opts);
+
+    std::vector<float> buf(dim);
+    for (int round = 1; round <= rounds; ++round) {
+      for (size_t i = 0; i < dim; ++i) {
+        buf[i] = static_cast<float>(rank * 1000 + round);
+      }
+      ASSERT_TRUE(
+          d.Scatter(seg, AsBytes(buf.data(), dim * sizeof(float)),
+                    static_cast<uint32_t>(round))
+              .ok());
+      d.Gather(seg, [](const RecvObject&) {});
+      if (round % 8 == 0) {
+        ASSERT_TRUE(d.Barrier().ok());
+      }
+    }
+    ASSERT_TRUE(d.Barrier().ok());
+  });
+
+  EXPECT_GT(cluster.checker.events_checked(), 0);
+  EXPECT_EQ(cluster.checker.violation_count(), 0) << cluster.checker.ReportJson();
+}
+
+// Partition injection needs a network; under shmem it must fail with a
+// clean Status instead of aborting the process.
+TEST(CheckShmem, ShmemSetReachableReturnsError) {
+  ShmemTransport transport(2);
+  const Status status = transport.SetReachable(0, 1, false);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(transport.Reachable(0, 1));  // nothing was partitioned
+}
+
+// --- concurrent-mode relaxations, pinned standalone ------------------------
+
+// A reader may validate a store between the sender's WriteEnd and its
+// completion hook: consuming the in-flight write is legal (and hash-checked).
+TEST(CheckConcurrent, InFlightConsumeIsLegal) {
+  ProtocolChecker checker(CheckLevel::kFull, 2);
+  checker.SetConcurrent(true);
+  checker.OnSegmentCreate(0, kRkey, 0, OneSenderLayout(2));
+  const auto payload = Payload(8, 0x11);
+  const auto wire = SlotImage(1, 1, payload, 1);
+
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, wire, ApplyPhase::kFirstHalf, 10);
+  checker.OnSlotRead(0, kRkey, 0, 0, 1, 1, 1, payload, ReadAction::kConsumed, 15);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, wire, ApplyPhase::kSecondHalf, 20);
+
+  EXPECT_EQ(checker.violation_count(), 0) << checker.ReportJson();
+}
+
+// A consume matching a recent generation from the slot's history ring is
+// legal (the reader snapshotted just before the sender lapped the slot) —
+// but its payload must still hash-match the posted bytes.
+TEST(CheckConcurrent, HistoryRingAcceptsRecentGenerationAndChecksBytes) {
+  ProtocolChecker checker(CheckLevel::kFull, 2);
+  checker.SetConcurrent(true);
+  checker.OnSegmentCreate(0, kRkey, 0, OneSenderLayout(1));
+  const auto old_payload = Payload(8, 0x22);
+  const auto new_payload = Payload(8, 0x33);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(1, 1, old_payload, 1),
+                             ApplyPhase::kFull, 10);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(2, 2, new_payload, 2),
+                             ApplyPhase::kFull, 20);
+
+  // Snapshot of the lapped generation, byte-exact: clean.
+  checker.OnSlotRead(0, kRkey, 0, 0, 1, 1, 1, old_payload, ReadAction::kConsumed, 25);
+  EXPECT_EQ(checker.violation_count(), 0) << checker.ReportJson();
+
+  // Same generation with foreign bytes: torn bytes escaped the stamps.
+  ProtocolChecker strict(CheckLevel::kFull, 2);
+  strict.SetConcurrent(true);
+  strict.OnSegmentCreate(0, kRkey, 0, OneSenderLayout(1));
+  strict.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(1, 1, old_payload, 1),
+                            ApplyPhase::kFull, 10);
+  strict.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(2, 2, new_payload, 2),
+                            ApplyPhase::kFull, 20);
+  strict.OnSlotRead(0, kRkey, 0, 0, 1, 1, 1, new_payload, ReadAction::kConsumed, 25);
+  EXPECT_EQ(strict.CountFor(check::kTornReadEscape), 1) << strict.ReportJson();
+}
+
+// A consumed seq newer than anything the ledger ever saw begin is still a
+// phantom in concurrent mode.
+TEST(CheckConcurrent, PhantomReadStillFlagged) {
+  ProtocolChecker checker(CheckLevel::kFull, 2);
+  checker.SetConcurrent(true);
+  checker.OnSegmentCreate(0, kRkey, 0, OneSenderLayout(2));
+  const auto payload = Payload(8, 0x44);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(1, 1, payload, 1),
+                             ApplyPhase::kFull, 10);
+
+  checker.OnSlotRead(0, kRkey, 0, 1, 4, 4, 4, payload, ReadAction::kConsumed, 20);
+  EXPECT_EQ(checker.CountFor(check::kPhantomRead), 1) << checker.ReportJson();
+  EXPECT_EQ(checker.violation_count(), 1) << checker.ReportJson();
+}
+
+// The windowed spurious-torn rule: a torn skip racing a write that began
+// since the reader's last visit is legal; a torn skip with no write begun in
+// the window (nothing could have been in flight) is spurious.
+TEST(CheckConcurrent, SpuriousTornSkipIsWindowed) {
+  ProtocolChecker checker(CheckLevel::kFull, 2);
+  checker.SetConcurrent(true);
+  checker.OnSegmentCreate(0, kRkey, 0, OneSenderLayout(2));
+  const auto payload = Payload(8, 0x55);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(1, 1, payload, 1),
+                             ApplyPhase::kFull, 10);
+
+  // First visit: the write began after the reader's (never-happened) last
+  // visit — a racy torn observation is plausible. Legal.
+  checker.OnSlotRead(0, kRkey, 0, 0, 1, 0, 1, {}, ReadAction::kSkippedTorn, 20);
+  EXPECT_EQ(checker.violation_count(), 0) << checker.ReportJson();
+
+  // Second visit with no intervening write: nothing was in flight at any
+  // point the reader could have observed. Spurious.
+  checker.OnSlotRead(0, kRkey, 0, 0, 1, 0, 1, {}, ReadAction::kSkippedTorn, 30);
+  EXPECT_EQ(checker.CountFor(check::kSpuriousTornSkip), 1) << checker.ReportJson();
+}
+
+// Lost-update certification: a committed, never-consumed generation the
+// reader demonstrably visited and then stepped over — with no queue-depth
+// lap to excuse the drop — is a lost update.
+TEST(CheckConcurrent, SteppedOverCommittedUpdateIsLost) {
+  ProtocolChecker checker(CheckLevel::kFull, 2);
+  checker.SetConcurrent(true);
+  checker.OnSegmentCreate(0, kRkey, 0, OneSenderLayout(4));
+  const auto payload = Payload(8, 0x66);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(1, 1, payload, 1),
+                             ApplyPhase::kFull, 10);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 32, SlotImage(2, 1, payload, 2),
+                             ApplyPhase::kFull, 20);
+
+  // The buggy reader visits seq 1 and misjudges it stale (flagged as a
+  // discipline break), then consumes seq 2 over the gap: seq 1 sits
+  // committed and unconsumed with no lap — a lost update.
+  checker.OnSlotRead(0, kRkey, 0, 0, 1, 1, 1, {}, ReadAction::kSkippedStale, 30);
+  EXPECT_EQ(checker.CountFor(check::kSeqDiscipline), 1) << checker.ReportJson();
+  checker.OnSlotRead(0, kRkey, 0, 1, 2, 2, 1, payload, ReadAction::kConsumed, 40);
+  EXPECT_EQ(checker.CountFor(check::kLostUpdate), 1) << checker.ReportJson();
+  EXPECT_EQ(checker.violation_count(), 2) << checker.ReportJson();
+}
+
+// Overwrite-on-full drops are accounted but not violations: a sender lapping
+// a slow reader is the protocol's documented drop mode, and the gap consume
+// that follows is excused by the lap.
+TEST(CheckConcurrent, QueueDepthLapIsAccountedNotFlagged) {
+  ProtocolChecker checker(CheckLevel::kFull, 2);
+  checker.SetConcurrent(true);
+  checker.OnSegmentCreate(0, kRkey, 0, OneSenderLayout(2));
+  const auto payload = Payload(8, 0x77);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(1, 1, payload, 1),
+                             ApplyPhase::kFull, 10);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 32, SlotImage(2, 1, payload, 2),
+                             ApplyPhase::kFull, 20);
+  checker.OnRemoteWriteApply(1, 0, kRkey, 0, SlotImage(3, 2, payload, 3),
+                             ApplyPhase::kFull, 30);  // laps unconsumed seq 1
+
+  EXPECT_EQ(checker.lost_updates(), 1);  // the drop is on the books
+  checker.OnSlotRead(0, kRkey, 0, 0, 3, 3, 2, payload, ReadAction::kConsumed, 40);
+  EXPECT_EQ(checker.violation_count(), 0) << checker.ReportJson();
+}
+
+}  // namespace
+}  // namespace malt

@@ -26,7 +26,7 @@ struct PartCluster {
   void Partition(const std::vector<int>& side_a, const std::vector<int>& side_b) {
     for (int a : side_a) {
       for (int b : side_b) {
-        fabric.SetReachable(a, b, false);
+        ASSERT_TRUE(fabric.SetReachable(a, b, false).ok());
       }
     }
   }

@@ -61,12 +61,16 @@ TEST(ShmemRuntime, WorkersRunConcurrentlyAndFoldVectors) {
   }
 }
 
-TEST(ShmemRuntime, CheckerIsForcedOffUnderShmem) {
+// The checker is transport-agnostic: under shmem it stays at the requested
+// level, switched to its concurrent (lock-striped) ledger.
+TEST(ShmemRuntime, CheckerRunsConcurrentUnderShmem) {
   MaltOptions options = ShmemOpts(2);
-  options.check = CheckLevel::kCheap;  // sim-only feature: sanitized away
+  options.check = CheckLevel::kCheap;
   Malt malt(options);
-  EXPECT_FALSE(malt.checker().enabled());
+  EXPECT_TRUE(malt.checker().enabled());
+  EXPECT_TRUE(malt.checker().concurrent());
   malt.Run([](Worker&) {});
+  EXPECT_EQ(malt.checker().violation_count(), 0);
 }
 
 // The acceptance bar from the transport redesign: the SVM app converges in

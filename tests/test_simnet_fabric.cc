@@ -153,7 +153,7 @@ TEST(Fabric, PartitionInjection) {
   Engine engine;
   Fabric fabric(engine, 2, TestOptions());
   MrHandle mr = fabric.RegisterMemory(1, 64);
-  fabric.SetReachable(0, 1, false);
+  ASSERT_TRUE(fabric.SetReachable(0, 1, false).ok());
 
   engine.AddProcess("sender", [&](Process& p) {
     std::byte b[8] = {};

@@ -10,12 +10,19 @@
 #                      so any UB aborts the gate.
 #   2. clang-tidy    — .clang-tidy profile over src/ and tools/ (skipped with
 #                      a warning if clang-tidy is not installed).
-#   3. ctest -L analysis — the protocol-checker test suite.
-#   4. malt_run --check=full — the SVM example under the happens-before
-#                      validator; any violation fails the gate.
-#   5. TSan build + ctest -L shmem — the shared-memory transport suite
+#   3. lint_malt_api — repo-specific API lint (raw segment writes outside the
+#                      transports, nondeterminism in src/check/, telemetry
+#                      metric naming).
+#   4. ctest -L analysis — the protocol-checker test suite.
+#   5. malt_run --check=full — the SVM example under the happens-before
+#                      validator, on both transports; any violation fails
+#                      the gate.
+#   6. TSan build + ctest -L shmem — the shared-memory transport suite
 #                      (real concurrent rank threads) under ThreadSanitizer;
 #                      any data race fails the gate.
+#   7. ASan build + full ctest — the whole suite under AddressSanitizer with
+#                      LeakSanitizer on; any bad access or leak fails the
+#                      gate.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -58,7 +65,15 @@ else
   echo "WARNING: clang-tidy not installed; skipping the tidy stage" >&2
 fi
 
-# --- 3. analysis-labelled tests ---------------------------------------------
+# --- 3. MALT API lint ---------------------------------------------------------
+note "lint_malt_api"
+if python3 "$REPO/tools/lint_malt_api.py"; then
+  :
+else
+  fail "lint_malt_api"
+fi
+
+# --- 4. analysis-labelled tests ---------------------------------------------
 note "ctest -L analysis"
 if (cd "$BUILD_DIR" && ctest -L analysis --output-on-failure -j "$JOBS"); then
   echo "analysis tests OK"
@@ -66,8 +81,8 @@ else
   fail "ctest -L analysis"
 fi
 
-# --- 4. protocol check on the SVM example ------------------------------------
-note "malt_run --check=full (SVM)"
+# --- 5. protocol check on the SVM example (both transports) ------------------
+note "malt_run --check=full (SVM, sim)"
 if "$BUILD_DIR/tools/malt_run" --app=svm --epochs=3 --check=full \
      --check_out=/tmp/malt_check_report.json; then
   echo "protocol check OK (report: /tmp/malt_check_report.json)"
@@ -75,8 +90,16 @@ else
   cat /tmp/malt_check_report.json 2>/dev/null
   fail "malt_run --check=full reported violations"
 fi
+note "malt_run --check=full (SVM, shmem)"
+if "$BUILD_DIR/tools/malt_run" --app=svm --epochs=3 --check=full --transport=shmem \
+     --check_out=/tmp/malt_check_report_shmem.json; then
+  echo "protocol check OK (report: /tmp/malt_check_report_shmem.json)"
+else
+  cat /tmp/malt_check_report_shmem.json 2>/dev/null
+  fail "malt_run --check=full --transport=shmem reported violations"
+fi
 
-# --- 5. TSan build + shmem-labelled tests ------------------------------------
+# --- 6. TSan build + shmem-labelled tests ------------------------------------
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-$REPO/build-tsan}"
 note "configure + build (MALT_SANITIZE=thread) in $TSAN_BUILD_DIR"
 if [ "$FAST" = 1 ]; then
@@ -85,6 +108,7 @@ else
   if cmake -B "$TSAN_BUILD_DIR" -S "$REPO" -DMALT_SANITIZE=thread >/dev/null \
      && cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
           --target test_base_seqlock test_shmem_transport test_shmem_dstorm test_shmem_runtime \
+                   test_check_shmem \
           > /tmp/malt_check_tsan_build.log 2>&1; then
     echo "TSan build OK"
     note "ctest -L shmem (ThreadSanitizer)"
@@ -97,6 +121,29 @@ else
   else
     tail -40 /tmp/malt_check_tsan_build.log
     fail "TSan build"
+  fi
+fi
+
+# --- 7. ASan build + full test suite ------------------------------------------
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-$REPO/build-asan}"
+note "configure + build (MALT_SANITIZE=address) in $ASAN_BUILD_DIR"
+if [ "$FAST" = 1 ]; then
+  echo "(--fast: skipping the ASan stage)"
+else
+  if cmake -B "$ASAN_BUILD_DIR" -S "$REPO" -DMALT_SANITIZE=address >/dev/null \
+     && cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" \
+          > /tmp/malt_check_asan_build.log 2>&1; then
+    echo "ASan build OK"
+    note "ctest (AddressSanitizer + LeakSanitizer)"
+    if (cd "$ASAN_BUILD_DIR" && ASAN_OPTIONS="detect_leaks=1" \
+          ctest --output-on-failure -j "$JOBS"); then
+      echo "ASan tests OK"
+    else
+      fail "ctest under ASan"
+    fi
+  else
+    tail -40 /tmp/malt_check_asan_build.log
+    fail "ASan build"
   fi
 fi
 

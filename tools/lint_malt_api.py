@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""MALT API lint (tools/check.sh stage): repo-specific invariants that the
+compiler cannot enforce.
+
+Rules:
+  segment-write   Raw stores into transport/segment memory (memcpy/memset with
+                  a region/segment destination, AtomicStoreBytes, or the raw
+                  Transport::Data() span) are only legal inside the transport
+                  implementations (src/shmem/, src/simnet/). Everything else
+                  must go through Transport::Write / PostWrite so the seqlock
+                  guards and the protocol checker see every store.
+  check-determinism
+                  src/check/ must stay deterministic and replayable: no wall
+                  clocks, no randomness, no environment reads. Timestamps
+                  reach the checker through its hook arguments.
+  counter-name    Telemetry metric names are lowercase dotted identifiers
+                  (e.g. "fabric.writes_posted"): segments of [a-z0-9_-],
+                  joined by dots. Mixed case or spaces break the exported
+                  JSON conventions and the check.violations.<kind> scheme.
+
+A line containing NOLINT(malt-api) is skipped. Exit status: 0 clean,
+1 findings, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories (and the primitive's own home) whose job is to implement raw
+# segment stores.
+SEGMENT_WRITERS = ("src/shmem/", "src/simnet/", "src/base/seqlock.h")
+
+SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.h", "tools/**/*.cc", "tools/**/*.cpp")
+
+COUNTER_NAME = re.compile(r"^[a-z0-9][a-z0-9_-]*(\.[a-z0-9][a-z0-9_-]*)*$")
+GETTER = re.compile(r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"')
+MEM_WRITE = re.compile(r"\bmem(?:cpy|set|move)\s*\(\s*([^,;]*)")
+SEGMENT_DEST = re.compile(r"Data\s*\(|\bregion|->bytes|\bsegment\b")
+RAW_SPAN = re.compile(r"(?:->|\.)Data\s*\(")
+NONDETERMINISM = re.compile(
+    r"std::chrono|steady_clock|system_clock|\btime\s*\(|\brand\s*\(|"
+    r"\bsrand\s*\(|random_device|\bgetenv\b"
+)
+
+
+def lint_file(path: Path, findings: list) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    in_segment_writer = rel.startswith(SEGMENT_WRITERS)
+    in_check = rel.startswith("src/check/")
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        findings.append((rel, 0, "io", f"unreadable: {err}"))
+        return
+
+    for lineno, line in enumerate(lines, start=1):
+        if "NOLINT(malt-api)" in line:
+            continue
+        stripped = line.split("//", 1)[0]
+
+        if not in_segment_writer:
+            if "AtomicStoreBytes" in stripped:
+                findings.append((rel, lineno, "segment-write",
+                                 "AtomicStoreBytes outside the transport "
+                                 "implementations; use Transport::Write/PostWrite"))
+            m = MEM_WRITE.search(stripped)
+            if m and SEGMENT_DEST.search(m.group(1)):
+                findings.append((rel, lineno, "segment-write",
+                                 "raw memcpy/memset into segment memory; use "
+                                 "Transport::Write/PostWrite so the seqlock and "
+                                 "the checker see the store"))
+            if RAW_SPAN.search(stripped) and "TrafficStats" not in stripped:
+                findings.append((rel, lineno, "segment-write",
+                                 "raw Transport::Data() span outside the "
+                                 "transport implementations; use Read/Write"))
+
+        if in_check and NONDETERMINISM.search(stripped):
+            findings.append((rel, lineno, "check-determinism",
+                             "nondeterminism in src/check/; the checker must "
+                             "replay identically (take times via hook args)"))
+
+        for name in GETTER.findall(stripped):
+            if not COUNTER_NAME.match(name):
+                findings.append((rel, lineno, "counter-name",
+                                 f'metric name "{name}" is not a lowercase '
+                                 "dotted identifier"))
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings = []
+    seen = set()
+    for glob in SOURCE_GLOBS:
+        for path in sorted(REPO.glob(glob)):
+            if path in seen:
+                continue
+            seen.add(path)
+            lint_file(path, findings)
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"lint_malt_api: {len(findings)} finding(s) in {len(seen)} files")
+        return 1
+    print(f"lint_malt_api: OK ({len(seen)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
