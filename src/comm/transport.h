@@ -62,6 +62,19 @@ struct MrHandle {
   bool valid() const { return node >= 0; }
 };
 
+// Compact lineage context riding along a one-sided write (in memory only —
+// the wire format is unchanged). When enabled, the transport emits a
+// receiver-side 't' flow event at apply time and observes the delivery
+// latency (apply time − sent_at) into the edge's
+// "comm.edge.<src>-<dst>.delivery_ns" histogram. A zero flow id disables
+// both (the default for untraced writes: barriers, probes, raw benches).
+struct WireTrace {
+  uint64_t flow_id = 0;  // MakeFlowId(src, dst, rkey, seq); 0 = untraced
+  uint32_t iter = 0;     // sender's epoch when the update was posted
+  SimTime sent_at = 0;   // transport-clock timestamp of the post
+  bool enabled() const { return flow_id != 0; }
+};
+
 // Per-(src,dst) and per-node byte/message accounting — regenerates Fig. 13.
 // Cells are relaxed atomics: under the shmem transport a sender's thread
 // bumps the receiver's rx counter concurrently with other senders.
@@ -149,9 +162,15 @@ class Transport {
   // from rank `src` at time `now`. Returns the work-request id, or an error
   // if the send queue is full (caller should wait on HasSendRoom) or the
   // arguments are invalid. The payload is snapshotted immediately; a
-  // completion appears on `src`'s CQ.
+  // completion appears on `src`'s CQ. `trace` carries the update's lineage
+  // context (see WireTrace); the 5-argument overload posts untraced.
   virtual Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
-                                     std::span<const std::byte> data) = 0;
+                                     std::span<const std::byte> data,
+                                     const WireTrace& trace) = 0;
+  Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+                             std::span<const std::byte> data) {
+    return PostWrite(src, now, dst_mr, dst_offset, data, WireTrace{});
+  }
 
   // Posts a one-sided *accumulating* write: each float in `values` is added
   // to the destination floats in place — the fetch_and_add aggregation the

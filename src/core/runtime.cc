@@ -268,11 +268,18 @@ void Malt::ScheduleKill(int rank, double at_seconds) {
 void Malt::Run(const std::function<void(Worker&)>& body) {
   MALT_CHECK(!ran_) << "Malt::Run called twice";
   ran_ = true;
+  const TelemetryOptions& topt = options_.telemetry;
+  if (topt.metrics_interval_ms > 0 && !topt.metrics_stream_path.empty()) {
+    streamer_ = std::make_unique<MetricsStreamer>(&telemetry_, topt.metrics_stream_path);
+  }
   if (options_.transport == TransportKind::kSim) {
     RunSim(body);
   } else {
     RunShmem(body);
   }
+  // Fold the trace rings' drop counts into the metric registries so post-run
+  // exports see an accurate telemetry.trace.dropped even without a streamer.
+  telemetry_.SyncTraceDroppedCounters();
 }
 
 void Malt::RunSim(const std::function<void(Worker&)>& body) {
@@ -291,6 +298,30 @@ void Malt::RunSim(const std::function<void(Worker&)>& body) {
       // survivors can run different numbers of rounds per epoch, and a
       // barrier must never wait on a rank that already returned.
       worker.dstorm_->FinishBarriers();
+    });
+  }
+  if (streamer_ != nullptr) {
+    // Auxiliary sampler process (pid == ranks): wakes every interval of
+    // *virtual* time, snapshots a delta record, and exits once every rank
+    // process has finished or been killed. Kill injection never targets it
+    // (Fabric ignores pids beyond the rank range).
+    const SimDuration interval =
+        FromSeconds(static_cast<double>(options_.telemetry.metrics_interval_ms) / 1000.0);
+    const int ranks = options_.ranks;
+    engine_->AddProcess("metrics-sampler", [this, interval, ranks](Process& proc) {
+      auto all_ranks_done = [this, ranks] {
+        for (int pid = 0; pid < ranks; ++pid) {
+          const ProcState st = engine_->state(pid);
+          if (st != ProcState::kDone && st != ProcState::kKilled) {
+            return false;
+          }
+        }
+        return true;
+      };
+      while (!proc.WaitUntilOr(all_ranks_done, proc.now() + interval)) {
+        streamer_->Sample(proc.now());
+      }
+      streamer_->Finish(proc.now());
     });
   }
   engine_->Run();
@@ -331,6 +362,24 @@ void Malt::RunShmem(const std::function<void(Worker&)>& body) {
     });
   }
 
+  // Wall-clock metrics sampler: snapshots NDJSON delta records while the
+  // rank threads run. All the cells it reads are atomics or internally
+  // locked, so sampling mid-run is TSan-clean.
+  std::thread sampler;
+  if (streamer_ != nullptr) {
+    const auto interval = std::chrono::milliseconds(options_.telemetry.metrics_interval_ms);
+    sampler = std::thread([this, &run_done, interval] {
+      auto next = std::chrono::steady_clock::now() + interval;
+      while (!run_done.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() >= next) {
+          streamer_->Sample(shmem_->clock().NowNs());
+          next += interval;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(n));
   for (int rank = 0; rank < n; ++rank) {
@@ -359,6 +408,12 @@ void Malt::RunShmem(const std::function<void(Worker&)>& body) {
   run_done.store(true, std::memory_order_release);
   if (watchdog.joinable()) {
     watchdog.join();
+  }
+  if (sampler.joinable()) {
+    sampler.join();
+  }
+  if (streamer_ != nullptr) {
+    streamer_->Finish(shmem_->clock().NowNs());
   }
 }
 

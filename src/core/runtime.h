@@ -29,6 +29,7 @@
 #include "src/shmem/shmem_transport.h"
 #include "src/sim/engine.h"
 #include "src/simnet/fabric.h"
+#include "src/telemetry/stream.h"
 #include "src/vol/accumulator.h"
 #include "src/vol/malt_vector.h"
 
@@ -172,6 +173,12 @@ class Malt {
   // May be called once.
   void Run(const std::function<void(Worker&)>& body);
 
+  // The background metrics sampler, when the run streams NDJSON telemetry
+  // (TelemetryOptions::metrics_interval_ms > 0 with a metrics_stream_path).
+  // Null otherwise. Under sim it runs as an auxiliary engine process on
+  // virtual time; under shmem as a wall-clock thread.
+  MetricsStreamer* metrics_streamer() { return streamer_.get(); }
+
   // Post-run accessors.
   Recorder& recorder(int rank) { return recorders_[static_cast<size_t>(rank)]; }
   const std::vector<Recorder>& recorders() const { return recorders_; }
@@ -191,6 +198,7 @@ class Malt {
   std::unique_ptr<ShmemTransport> shmem_;   // shmem only
   Transport* transport_ = nullptr;
   std::unique_ptr<DstormDomain> domain_;
+  std::unique_ptr<MetricsStreamer> streamer_;
   Graph dataflow_;
   std::vector<Recorder> recorders_;
   std::vector<std::pair<int, double>> pending_kills_;  // shmem: (rank, at_seconds)

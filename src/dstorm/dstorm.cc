@@ -85,6 +85,7 @@ Dstorm::Dstorm(DstormDomain* domain, Transport* transport, int rank, int world,
   c_probes_ = reg.GetCounter("dstorm.probes");
   c_send_stalls_ = reg.GetCounter("fabric.send_queue_stalls");
   c_send_stall_ns_ = reg.GetCounter("fabric.send_queue_stall_ns");
+  flow_events_ = transport_->telemetry().options().flow_events;
 }
 
 void Dstorm::Bind(Process& proc) {
@@ -316,7 +317,18 @@ Status Dstorm::PostObject(SegmentId seg, int dst, std::span<const std::byte> pay
 
   const MrHandle dst_mr{dst, static_cast<uint32_t>(seg) + 2};
   const size_t offset = SlotOffset(s, sender_pos, slot);
-  Result<uint64_t> posted = transport_->PostWrite(rank_, ctx_->Now(), dst_mr, offset, wire);
+  const SimTime post_now = ctx_->Now();
+  WireTrace trace;  // flow id 0 when flow tracing is off: the write is untraced
+  if (flow_events_) {
+    // Lineage context: the flow id is recomputable at consume time from
+    // (sender, reader, rkey, slot seq), so nothing extra rides the wire.
+    trace.flow_id = MakeFlowId(rank_, dst, dst_mr.rkey, seq);
+    trace.iter = iter;
+    trace.sent_at = post_now;
+    telemetry_->trace.FlowStart(kFlowUpdateName, post_now, trace.flow_id,
+                                static_cast<int64_t>(iter));
+  }
+  Result<uint64_t> posted = transport_->PostWrite(rank_, post_now, dst_mr, offset, wire, trace);
   if (!posted.ok()) {
     return posted.status();
   }
@@ -442,6 +454,15 @@ int Dstorm::Gather(SegmentId seg, const std::function<void(const RecvObject&)>& 
         checker.OnSlotRead(rank_, s.recv_mr.rkey, static_cast<int>(pos), fresh[i].slot,
                            fresh[i].seq, fresh[i].seq, fresh[i].iter, obj.bytes,
                            ProtocolChecker::ReadAction::kConsumed, check_now);
+      }
+      if (flow_events_) {
+        // Close the update's lineage: same flow id the sender computed at
+        // post time (src, dst, rkey, wire seq), now landing in the reader's
+        // gather span.
+        telemetry_->trace.FlowFinish(
+            kFlowUpdateName, check_now,
+            MakeFlowId(sender, rank_, s.recv_mr.rkey, fresh[i].seq),
+            static_cast<int64_t>(fresh[i].iter));
       }
       consume(obj);
       const uint64_t previous = s.last_consumed[static_cast<size_t>(sender)];

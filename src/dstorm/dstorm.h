@@ -254,6 +254,10 @@ class Dstorm {
 
   // Cached telemetry cells (registered once in the constructor).
   RankTelemetry* telemetry_ = nullptr;
+  // TelemetryOptions::flow_events, cached: when set, every PostObject tags
+  // its write with a WireTrace and emits the 's' flow event, Gather emits
+  // 'f' at consume, and the transports emit 't' at apply.
+  bool flow_events_ = true;
   Counter* c_scatters_ = nullptr;
   Counter* c_objects_sent_ = nullptr;
   Counter* c_gathers_ = nullptr;

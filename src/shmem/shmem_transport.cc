@@ -79,6 +79,8 @@ ShmemTransport::ShmemTransport(int nodes, ShmemOptions options, TelemetryDomain*
                          ? std::make_unique<ProtocolChecker>(CheckLevel::kOff, nodes)
                          : nullptr),
       checker_(checker == nullptr ? owned_checker_.get() : checker),
+      flow_events_(telemetry_->options().flow_events),
+      edges_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes)),
       stats_(nodes),
       regions_(static_cast<size_t>(nodes)),
       next_wr_id_(static_cast<size_t>(nodes), 1) {
@@ -106,14 +108,36 @@ ShmemTransport::ShmemTransport(int nodes, ShmemOptions options, TelemetryDomain*
   }
 }
 
+ShmemTransport::ResolvedEdge ShmemTransport::Edge(int src, int dst) {
+  EdgeCells& cell = edges_[static_cast<size_t>(src) * static_cast<size_t>(nodes_) +
+                           static_cast<size_t>(dst)];
+  Counter* bytes = cell.bytes.load(std::memory_order_acquire);
+  if (bytes == nullptr) {
+    MetricRegistry& reg = telemetry_->rank(dst).metrics;
+    bytes = reg.GetCounter(EdgeMetricName(src, dst, "bytes"));
+    cell.msgs.store(reg.GetCounter(EdgeMetricName(src, dst, "msgs")),
+                    std::memory_order_release);
+    cell.delivery_ns.store(reg.GetHistogram(EdgeMetricName(src, dst, "delivery_ns"),
+                                            EdgeDeliveryHistogramOptions()),
+                           std::memory_order_release);
+    cell.bytes.store(bytes, std::memory_order_release);
+  }
+  return ResolvedEdge{bytes, cell.msgs.load(std::memory_order_acquire),
+                      cell.delivery_ns.load(std::memory_order_acquire)};
+}
+
 void ShmemTransport::AccountPost(int src, int dst, size_t bytes, bool float_add) {
   stats_.Record(src, dst, bytes);
   NodeCounters& sc = counters_[static_cast<size_t>(src)];
   (float_add ? sc.float_adds_posted : sc.writes_posted)->Add(1);
   sc.bytes_sent->Add(static_cast<int64_t>(bytes));
   sc.write_bytes->Observe(static_cast<double>(bytes));
-  // Cross-thread bump of the receiver's cell; Counter is a relaxed atomic.
+  // Cross-thread bump of the receiver's cells; every metric primitive is a
+  // relaxed atomic (see metrics.h).
   counters_[static_cast<size_t>(dst)].bytes_received->Add(static_cast<int64_t>(bytes));
+  const ResolvedEdge edge = Edge(src, dst);
+  edge.bytes->Add(static_cast<int64_t>(bytes));
+  edge.msgs->Add(1);
 }
 
 MrHandle ShmemTransport::RegisterMemory(int node, size_t bytes, size_t guard_stripe_bytes) {
@@ -241,7 +265,8 @@ void ShmemTransport::PushCompletion(int src, const Completion& c) {
 
 Result<uint64_t> ShmemTransport::PostWrite(int src, SimTime now, MrHandle dst_mr,
                                            size_t dst_offset,
-                                           std::span<const std::byte> data) {
+                                           std::span<const std::byte> data,
+                                           const WireTrace& trace) {
   (void)now;  // wall time passes on its own
   MALT_CHECK(src >= 0 && src < nodes_) << "bad src " << src;
   if (!dst_mr.valid()) {
@@ -273,6 +298,22 @@ Result<uint64_t> ShmemTransport::PostWrite(int src, SimTime now, MrHandle dst_mr
       if (checked) {
         checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, data,
                                      ProtocolChecker::ApplyPhase::kSecondHalf, clock_.NowNs());
+      }
+      if (trace.enabled() && flow_events_) {
+        // Receiver-side apply, emitted from the sender's thread into the
+        // receiver's (internally locked) ring: a small slice for the 't'
+        // flow event to bind to, plus the wall-clock delivery latency on
+        // the edge's histogram.
+        const SimTime apply_now = clock_.NowNs();
+        // The apply events land in the SENDER's ring (tagged with the
+        // receiver's track id for the export): every ring stays
+        // single-writer, so the per-write hot path never contends a lock —
+        // which matters badly when ranks timeslice a single core.
+        TraceRing& ring = telemetry_->rank(src).trace;
+        ring.EmitPair({"update.apply", 'X', apply_now, 100, nullptr, 0, 0, dst},
+                      {kFlowUpdateName, 't', apply_now, 0, "iter",
+                       static_cast<int64_t>(trace.iter), trace.flow_id, dst});
+        Edge(src, dst).delivery_ns->Observe(static_cast<double>(apply_now - trace.sent_at));
       }
     }
   }

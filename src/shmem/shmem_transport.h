@@ -112,8 +112,13 @@ class ShmemTransport : public Transport {
   bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const override;
   void Write(MrHandle mr, size_t offset, std::span<const std::byte> data) override;
 
+  // When `trace` is enabled, the inline apply emits the receiver-side apply
+  // slice + 't' flow event (into the *sender's* ring tagged with the
+  // receiver's export track, keeping every ring single-writer) and observes
+  // the wall-clock delivery latency on the (src→dst) edge.
   Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
-                             std::span<const std::byte> data) override;
+                             std::span<const std::byte> data, const WireTrace& trace) override;
+  using Transport::PostWrite;
   Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                                 std::span<const float> values) override;
   int64_t DrainFloatRegion(MrHandle mr, std::span<float> out) override;
@@ -164,11 +169,28 @@ class ShmemTransport : public Transport {
     HistogramMetric* write_bytes = nullptr;
   };
 
+  // Per-(src→dst) edge cells under "comm.edge.<src>-<dst>.*" in the
+  // *receiver's* registry. Lazily resolved; the cache slots are atomic
+  // pointers because several sender threads may race the first resolution
+  // for a shared destination (GetCounter is idempotent, so both racers
+  // store the same pointer).
+  struct EdgeCells {
+    std::atomic<Counter*> bytes{nullptr};
+    std::atomic<Counter*> msgs{nullptr};
+    std::atomic<HistogramMetric*> delivery_ns{nullptr};
+  };
+  struct ResolvedEdge {
+    Counter* bytes;
+    Counter* msgs;
+    HistogramMetric* delivery_ns;
+  };
+
   // Region lookup under the shared lock; null when the handle names nothing.
   Region* FindRegion(MrHandle mr) const;
   void GuardedStore(Region& region, size_t offset, std::span<const std::byte> data);
   void PushCompletion(int src, const Completion& c);
   void AccountPost(int src, int dst, size_t bytes, bool float_add);
+  ResolvedEdge Edge(int src, int dst);
 
   const int nodes_;
   const ShmemOptions options_;
@@ -177,7 +199,9 @@ class ShmemTransport : public Transport {
   TelemetryDomain* telemetry_;
   std::unique_ptr<ProtocolChecker> owned_checker_;  // off-level fallback
   ProtocolChecker* checker_;
+  const bool flow_events_;                    // TelemetryOptions::flow_events, cached
   std::vector<NodeCounters> counters_;        // [node]
+  std::vector<EdgeCells> edges_;              // [src*nodes+dst], lazily resolved
   TrafficStats stats_;
 
   // Registration is rare (collective segment creation before training) and

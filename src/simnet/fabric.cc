@@ -42,7 +42,21 @@ Fabric::Fabric(Engine& engine, int nodes, FabricOptions options, TelemetryDomain
     c.write_bytes = reg.GetHistogram("fabric.write_bytes",
                                      HistogramMetric::Options{0.0, 1.0e6, 64});
   }
+  edges_.resize(static_cast<size_t>(nodes) * static_cast<size_t>(nodes));
   engine_.AddKillHook([this](int pid) { OnKill(pid); });
+}
+
+Fabric::EdgeCells& Fabric::Edge(int src, int dst) {
+  EdgeCells& cell = edges_[static_cast<size_t>(src) * static_cast<size_t>(nodes_) +
+                           static_cast<size_t>(dst)];
+  if (cell.bytes == nullptr) {
+    MetricRegistry& reg = telemetry_->rank(dst).metrics;
+    cell.bytes = reg.GetCounter(EdgeMetricName(src, dst, "bytes"));
+    cell.msgs = reg.GetCounter(EdgeMetricName(src, dst, "msgs"));
+    cell.delivery_ns =
+        reg.GetHistogram(EdgeMetricName(src, dst, "delivery_ns"), EdgeDeliveryHistogramOptions());
+  }
+  return cell;
 }
 
 void Fabric::AccountPost(int src, int dst, size_t bytes, bool float_add) {
@@ -52,6 +66,9 @@ void Fabric::AccountPost(int src, int dst, size_t bytes, bool float_add) {
   sc.bytes_sent->Add(static_cast<int64_t>(bytes));
   sc.write_bytes->Observe(static_cast<double>(bytes));
   counters_[static_cast<size_t>(dst)].bytes_received->Add(static_cast<int64_t>(bytes));
+  EdgeCells& edge = Edge(src, dst);
+  edge.bytes->Add(static_cast<int64_t>(bytes));
+  edge.msgs->Add(1);
 }
 
 void Fabric::OnKill(int pid) {
@@ -161,7 +178,7 @@ void Fabric::DeliverCompletion(int src, uint64_t wr_id, int dst, WcStatus status
 }
 
 Result<uint64_t> Fabric::PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
-                                   std::span<const std::byte> data) {
+                                   std::span<const std::byte> data, const WireTrace& trace) {
   MALT_CHECK(src >= 0 && src < nodes_) << "bad src " << src;
   if (!dst_mr.valid()) {
     return InvalidArgumentError("invalid destination memory handle");
@@ -205,7 +222,7 @@ Result<uint64_t> Fabric::PostWrite(int src, SimTime now, MrHandle dst_mr, size_t
   const SimTime second_half_at = arrival + options_.net.latency;
 
   engine_.ScheduleEvent(arrival, [this, src, dst, dst_mr, dst_offset, wr_id, ack, apply_payload,
-                                  split, half, second_half_at, payload] {
+                                  split, half, second_half_at, payload, trace] {
     WcStatus status = WcStatus::kSuccess;
     if (!alive_[static_cast<size_t>(dst)]) {
       status = WcStatus::kRemoteDead;
@@ -215,22 +232,38 @@ Result<uint64_t> Fabric::PostWrite(int src, SimTime now, MrHandle dst_mr, size_t
       const bool ok = split ? apply_payload(0, half) : apply_payload(0, payload->size());
       if (!ok) {
         status = WcStatus::kInvalidRkey;
-      } else if (split) {
-        checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, *payload,
-                                     ProtocolChecker::ApplyPhase::kFirstHalf, engine_.now());
-        // Second half lands one latency later — a reader in between observes
-        // a torn write, which the dstorm sequence stamps detect.
-        engine_.ScheduleEvent(second_half_at,
-                              [this, src, dst, dst_mr, dst_offset, apply_payload, half, payload] {
-                                if (apply_payload(half, payload->size())) {
-                                  checker_->OnRemoteWriteApply(
-                                      src, dst, dst_mr.rkey, dst_offset, *payload,
-                                      ProtocolChecker::ApplyPhase::kSecondHalf, engine_.now());
-                                }
-                              });
       } else {
-        checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, *payload,
-                                     ProtocolChecker::ApplyPhase::kFull, engine_.now());
+        if (trace.enabled() && telemetry_->options().flow_events) {
+          // Receiver-side apply: a small slice on the receiver's track for
+          // the 't' flow event to bind to, plus the virtual delivery latency
+          // on the edge's histogram.
+          const SimTime apply_now = engine_.now();
+          // Same single-writer convention as the shmem transport: apply
+          // events go into the sender's ring with the receiver's track id.
+          TraceRing& ring = telemetry_->rank(src).trace;
+          ring.EmitPair({"update.apply", 'X', apply_now, 100, nullptr, 0, 0, dst},
+                        {kFlowUpdateName, 't', apply_now, 0, "iter",
+                         static_cast<int64_t>(trace.iter), trace.flow_id, dst});
+          Edge(src, dst).delivery_ns->Observe(static_cast<double>(apply_now - trace.sent_at));
+        }
+        if (split) {
+          checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, *payload,
+                                       ProtocolChecker::ApplyPhase::kFirstHalf, engine_.now());
+          // Second half lands one latency later — a reader in between
+          // observes a torn write, which the dstorm sequence stamps detect.
+          engine_.ScheduleEvent(
+              second_half_at,
+              [this, src, dst, dst_mr, dst_offset, apply_payload, half, payload] {
+                if (apply_payload(half, payload->size())) {
+                  checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, *payload,
+                                               ProtocolChecker::ApplyPhase::kSecondHalf,
+                                               engine_.now());
+                }
+              });
+        } else {
+          checker_->OnRemoteWriteApply(src, dst, dst_mr.rkey, dst_offset, *payload,
+                                       ProtocolChecker::ApplyPhase::kFull, engine_.now());
+        }
       }
     }
     DeliverCompletion(src, wr_id, dst, status, ack);

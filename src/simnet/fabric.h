@@ -103,9 +103,13 @@ class Fabric : public Transport {
   // Posts a one-sided RDMA write of `data` into `dst_mr` at `dst_offset`,
   // from process `src` at virtual time `now`. Returns the work-request id, or
   // an error if the send queue is full (caller should WaitUntil HasSendRoom)
-  // or arguments are invalid. The payload is snapshotted immediately.
+  // or arguments are invalid. The payload is snapshotted immediately. When
+  // `trace` is enabled, the arrival event emits the receiver-side apply
+  // slice + 't' flow event and observes the virtual delivery latency on the
+  // (src→dst) edge.
   Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
-                             std::span<const std::byte> data) override;
+                             std::span<const std::byte> data, const WireTrace& trace) override;
+  using Transport::PostWrite;
 
   // Posts a one-sided *accumulating* write: at arrival, each float in
   // `values` is added to the destination floats in place — the fetch_and_add
@@ -158,9 +162,19 @@ class Fabric : public Transport {
     HistogramMetric* write_bytes = nullptr;
   };
 
+  // Per-(src→dst) edge cells, lazily registered in the *receiver's* registry
+  // under "comm.edge.<src>-<dst>.*" (see EdgeMetricName in metrics.h); only
+  // edges that actually carry traffic allocate metrics.
+  struct EdgeCells {
+    Counter* bytes = nullptr;
+    Counter* msgs = nullptr;
+    HistogramMetric* delivery_ns = nullptr;
+  };
+
   void OnKill(int pid);
   void DeliverCompletion(int src, uint64_t wr_id, int dst, WcStatus status, SimTime when);
   void AccountPost(int src, int dst, size_t bytes, bool float_add);
+  EdgeCells& Edge(int src, int dst);
 
   Engine& engine_;
   const int nodes_;
@@ -170,6 +184,7 @@ class Fabric : public Transport {
   std::unique_ptr<ProtocolChecker> owned_checker_;  // off-level, set when none passed
   ProtocolChecker* checker_;
   std::vector<NodeCounters> counters_;  // [node]
+  std::vector<EdgeCells> edges_;        // [src*nodes+dst], lazily resolved
   TrafficStats stats_;
   std::vector<std::vector<std::unique_ptr<Region>>> regions_;  // [node][rkey]
   std::vector<std::deque<Completion>> cq_;                     // [node]

@@ -3,17 +3,46 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <utility>
 
 #include "src/base/log.h"
 
 namespace malt {
+
+namespace {
+
+// CAS loops instead of std::atomic<double>::fetch_add / a hypothetical
+// fetch_min: portable across libstdc++/libc++ versions, and relaxed is
+// enough — readers only ever want an approximate snapshot.
+void AtomicAddDouble(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* a, double x) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (x < cur && !a->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* a, double x) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (x > cur && !a->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 HistogramMetric::HistogramMetric() : HistogramMetric(Options{}) {}
 
 HistogramMetric::HistogramMetric(Options options)
     : options_(options),
       width_((options.hi - options.lo) / static_cast<double>(options.buckets)),
-      buckets_(static_cast<size_t>(options.buckets), 0) {
+      buckets_(static_cast<size_t>(options.buckets)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
   MALT_CHECK(options.buckets >= 1) << "histogram needs >= 1 bucket";
   MALT_CHECK(options.hi > options.lo) << "histogram needs hi > lo";
 }
@@ -21,45 +50,37 @@ HistogramMetric::HistogramMetric(Options options)
 void HistogramMetric::Observe(double x) {
   int idx = static_cast<int>((x - options_.lo) / width_);
   idx = std::clamp(idx, 0, options_.buckets - 1);
-  buckets_[static_cast<size_t>(idx)] += 1;
-  if (count_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  count_ += 1;
-  sum_ += x;
+  buckets_[static_cast<size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+  AtomicMinDouble(&min_, x);
+  AtomicMaxDouble(&max_, x);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, x);
 }
 
 void HistogramMetric::Merge(const HistogramMetric& other) {
   MALT_CHECK(options_ == other.options_) << "merging histograms with different bucket layouts";
-  if (other.count_ == 0) {
+  if (other.count() == 0) {
     return;
   }
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    buckets_[i] += other.buckets_[i];
+    buckets_[i].fetch_add(other.BucketCount(i), std::memory_order_relaxed);
   }
-  if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
-  }
-  count_ += other.count_;
-  sum_ += other.sum_;
+  AtomicMinDouble(&min_, other.min_.load(std::memory_order_relaxed));
+  AtomicMaxDouble(&max_, other.max_.load(std::memory_order_relaxed));
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, other.sum());
 }
 
 double HistogramMetric::Percentile(double p) const {
-  if (count_ == 0) {
+  const int64_t total = count();
+  if (total == 0) {
     return 0.0;
   }
   p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(count_);
+  const double target = p / 100.0 * static_cast<double>(total);
   int64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    const int64_t in_bucket = buckets_[i];
+    const int64_t in_bucket = BucketCount(i);
     if (in_bucket == 0) {
       continue;
     }
@@ -75,7 +96,10 @@ double HistogramMetric::Percentile(double p) const {
   return max();
 }
 
+MetricRegistry::MetricRegistry() : mu_(std::make_unique<std::mutex>()) {}
+
 Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -84,6 +108,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -93,6 +118,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 
 HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
                                               HistogramMetric::Options options) {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<HistogramMetric>(options);
@@ -101,35 +127,60 @@ HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 int64_t MetricRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 double MetricRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
 const HistogramMetric* MetricRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 void MetricRegistry::Merge(const MetricRegistry& other) {
-  for (const auto& [name, counter] : other.counters_) {
-    GetCounter(name)->Add(counter->value());
+  // Snapshot `other` under its lock, release, then fold into this registry
+  // under ours — never both at once, so a sampler merging live per-rank
+  // registries cannot deadlock against concurrent registration.
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, const HistogramMetric*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(*other.mu_);
+    counters.reserve(other.counters_.size());
+    for (const auto& [name, counter] : other.counters_) {
+      counters.emplace_back(name, counter->value());
+    }
+    gauges.reserve(other.gauges_.size());
+    for (const auto& [name, gauge] : other.gauges_) {
+      gauges.emplace_back(name, gauge->value());
+    }
+    histograms.reserve(other.histograms_.size());
+    for (const auto& [name, histogram] : other.histograms_) {
+      histograms.emplace_back(name, histogram.get());  // stable: never erased
+    }
   }
-  for (const auto& [name, gauge] : other.gauges_) {
+  for (const auto& [name, value] : counters) {
+    GetCounter(name)->Add(value);
+  }
+  for (const auto& [name, value] : gauges) {
     Gauge* mine = GetGauge(name);
-    mine->Set(mine->value() + gauge->value());
+    mine->Set(mine->value() + value);
   }
-  for (const auto& [name, histogram] : other.histograms_) {
+  for (const auto& [name, histogram] : histograms) {
     GetHistogram(name, histogram->options())->Merge(*histogram);
   }
 }
 
 void MetricRegistry::ForEachCounter(
     const std::function<void(const std::string&, int64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   for (const auto& [name, counter] : counters_) {
     fn(name, counter->value());
   }
@@ -137,6 +188,7 @@ void MetricRegistry::ForEachCounter(
 
 void MetricRegistry::ForEachGauge(
     const std::function<void(const std::string&, double)>& fn) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   for (const auto& [name, gauge] : gauges_) {
     fn(name, gauge->value());
   }
@@ -144,9 +196,21 @@ void MetricRegistry::ForEachGauge(
 
 void MetricRegistry::ForEachHistogram(
     const std::function<void(const std::string&, const HistogramMetric&)>& fn) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   for (const auto& [name, histogram] : histograms_) {
     fn(name, *histogram);
   }
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string EdgeMetricName(int src, int dst, const char* leaf) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "comm.edge.%d-%d.%s", src, dst, leaf);
+  return buf;
 }
 
 void AppendJsonEscaped(std::string* out, const std::string& s) {
@@ -193,6 +257,7 @@ void AppendJsonNumber(std::string* out, double v) {
 }
 
 void MetricRegistry::AppendJson(std::string* out) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   out->append("{\"counters\":{");
   bool first = true;
   for (const auto& [name, counter] : counters_) {

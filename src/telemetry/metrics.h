@@ -5,9 +5,13 @@
 //   - Registration is by dotted name ("fabric.bytes_sent"); the registry
 //     returns a stable pointer, so hot paths register once (typically at
 //     construction) and then bump a relaxed atomic — no map lookup, no lock.
-//     Counters are atomic because the shmem transport's sender threads bump
-//     receiver-side cells concurrently; gauges/histograms stay plain (only
-//     ever touched by the owning rank's thread).
+//   - Every primitive is safe against concurrent bumps: under the shmem
+//     transport a sender's thread updates receiver-side cells while the
+//     background sampler (src/telemetry/stream.h) reads every registry
+//     mid-run. Counters/gauges are relaxed atomics; histograms use atomic
+//     buckets and CAS min/max, so concurrent reads see an approximate but
+//     tear-free snapshot. The registry maps themselves take a mutex because
+//     VOL vectors register cells mid-run.
 //   - Every rank gets its own registry (see telemetry.h); Merge() folds the
 //     per-rank registries into a cluster-wide aggregate at run end.
 //   - Counters are monotonic int64 event counts (suffix convention: `_ns`
@@ -23,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,16 +47,20 @@ class Counter {
 
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Fixed-width linear buckets over [lo, hi); samples outside clamp to the edge
 // buckets, so percentiles saturate rather than lose mass. Two histograms
 // merge only if their bucket layouts match.
+//
+// Observe() is wait-free against concurrent observers and readers; readers
+// (Percentile, AppendJson, the sampler) see an approximate snapshot in which
+// count/sum/buckets may momentarily disagree by in-flight samples.
 class HistogramMetric {
  public:
   struct Options {
@@ -70,30 +79,40 @@ class HistogramMetric {
   void Observe(double x);
   void Merge(const HistogramMetric& other);
 
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed); }
+  double max() const { return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const int64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
   // Linear interpolation within the owning bucket; p in [0, 100].
   double Percentile(double p) const;
   const Options& options() const { return options_; }
 
  private:
+  int64_t BucketCount(size_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
   Options options_;
   double width_;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;  // +inf until the first sample
+  std::atomic<double> max_;  // -inf until the first sample
 };
 
-// Owns all metrics of one rank. Lookup by name is O(log n) and intended for
-// registration and for post-run readers; instrumented code caches the
-// returned pointers (stable for the registry's lifetime).
+// Owns all metrics of one rank. Lookup by name is O(log n) under the
+// registry mutex and intended for registration and post-run/sampler readers;
+// instrumented code caches the returned pointers (stable for the registry's
+// lifetime — entries are never erased).
 class MetricRegistry {
  public:
+  MetricRegistry();
+  MetricRegistry(MetricRegistry&&) = default;
+  MetricRegistry& operator=(MetricRegistry&&) = default;
+
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   HistogramMetric* GetHistogram(const std::string& name,
@@ -106,6 +125,8 @@ class MetricRegistry {
 
   // Folds `other` into this registry: counters add, gauges sum (per-rank
   // gauges are shares of a cluster total), histograms merge bucket-wise.
+  // Snapshots `other` under its own lock first, so merging a live registry
+  // (the sampler does, every tick) never nests the two mutexes.
   void Merge(const MetricRegistry& other);
 
   void ForEachCounter(const std::function<void(const std::string&, int64_t)>& fn) const;
@@ -113,7 +134,7 @@ class MetricRegistry {
   void ForEachHistogram(
       const std::function<void(const std::string&, const HistogramMetric&)>& fn) const;
 
-  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+  size_t size() const;
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
   // mean,p50,p90,p99}}}
@@ -121,10 +142,30 @@ class MetricRegistry {
   std::string ToJson() const;
 
  private:
+  // Heap-allocated so the registry stays movable (Merged() returns by value).
+  mutable std::unique_ptr<std::mutex> mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
+
+// Per-(src→dst) communication-edge metric names, e.g.
+// "comm.edge.3-7.bytes". The `comm.edge.` scheme is the single namespace for
+// edge-resolved delivery observations (bytes, msgs, delivery_ns,
+// staleness_epochs); build the names with this helper — lint_malt_api
+// rejects the literal prefix outside src/telemetry/.
+std::string EdgeMetricName(int src, int dst, const char* leaf);
+
+// Standard layouts for the per-edge histograms, shared by both transports so
+// Merge() never sees mismatched buckets. Delivery: 0–100us in 1us buckets
+// (sim deliveries are a few us; shmem applies are sub-us to a few us; slower
+// outliers clamp to the top bucket). Staleness: 0–64 epochs, 1 per bucket.
+inline HistogramMetric::Options EdgeDeliveryHistogramOptions() {
+  return HistogramMetric::Options{0.0, 1.0e5, 100};
+}
+inline HistogramMetric::Options EdgeStalenessHistogramOptions() {
+  return HistogramMetric::Options{0.0, 64.0, 64};
+}
 
 // Minimal JSON string escaping for metric/trace names.
 void AppendJsonEscaped(std::string* out, const std::string& s);

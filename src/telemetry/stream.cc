@@ -1,0 +1,119 @@
+#include "src/telemetry/stream.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/telemetry/metrics.h"
+
+namespace malt {
+
+MetricsStreamer::MetricsStreamer(TelemetryDomain* domain, std::string path)
+    : domain_(domain), path_(std::move(path)), out_(path_, std::ios::binary) {
+  status_ = out_.good() ? OkStatus()
+                        : UnavailableError("cannot open metrics stream '" + path_ + "'");
+}
+
+void MetricsStreamer::Sample(SimTime ts_ns) { WriteRecord(ts_ns, /*force=*/false); }
+
+void MetricsStreamer::Finish(SimTime ts_ns) {
+  WriteRecord(ts_ns, /*force=*/true);
+  out_.flush();
+}
+
+void MetricsStreamer::WriteRecord(SimTime ts_ns, bool force) {
+  if (!status_.ok()) {
+    return;
+  }
+  domain_->SyncTraceDroppedCounters();
+  const MetricRegistry merged = domain_->Merged();
+
+  // Collect the deltas first so an all-quiet tick can be skipped entirely.
+  std::vector<std::pair<std::string, int64_t>> counter_deltas;
+  merged.ForEachCounter([this, &counter_deltas](const std::string& name, int64_t value) {
+    const int64_t delta = value - prev_counters_[name];
+    prev_counters_[name] = value;
+    if (delta != 0) {
+      counter_deltas.emplace_back(name, delta);
+    }
+  });
+  struct HistRow {
+    std::string name;
+    int64_t count;
+    int64_t delta;
+    double p50;
+    double p90;
+    double p99;
+  };
+  std::vector<HistRow> hist_rows;
+  merged.ForEachHistogram([this, &hist_rows](const std::string& name, const HistogramMetric& h) {
+    const int64_t count = h.count();
+    const int64_t delta = count - prev_hist_counts_[name];
+    prev_hist_counts_[name] = count;
+    if (delta != 0) {
+      hist_rows.push_back({name, count, delta, h.Percentile(50), h.Percentile(90),
+                           h.Percentile(99)});
+    }
+  });
+  if (!force && counter_deltas.empty() && hist_rows.empty()) {
+    return;
+  }
+
+  std::string line;
+  line.append("{\"seq\":");
+  AppendJsonNumber(&line, static_cast<double>(seq_));
+  line.append(",\"ts_ns\":");
+  AppendJsonNumber(&line, static_cast<double>(ts_ns));
+  line.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, delta] : counter_deltas) {
+    if (!first) {
+      line.push_back(',');
+    }
+    first = false;
+    AppendJsonEscaped(&line, name);
+    line.push_back(':');
+    AppendJsonNumber(&line, static_cast<double>(delta));
+  }
+  line.append("},\"gauges\":{");
+  first = true;
+  merged.ForEachGauge([&line, &first](const std::string& name, double value) {
+    if (!first) {
+      line.push_back(',');
+    }
+    first = false;
+    AppendJsonEscaped(&line, name);
+    line.push_back(':');
+    AppendJsonNumber(&line, value);
+  });
+  line.append("},\"histograms\":{");
+  first = true;
+  for (const HistRow& row : hist_rows) {
+    if (!first) {
+      line.push_back(',');
+    }
+    first = false;
+    AppendJsonEscaped(&line, row.name);
+    line.append(":{\"count\":");
+    AppendJsonNumber(&line, static_cast<double>(row.count));
+    line.append(",\"delta\":");
+    AppendJsonNumber(&line, static_cast<double>(row.delta));
+    line.append(",\"p50\":");
+    AppendJsonNumber(&line, row.p50);
+    line.append(",\"p90\":");
+    AppendJsonNumber(&line, row.p90);
+    line.append(",\"p99\":");
+    AppendJsonNumber(&line, row.p99);
+    line.push_back('}');
+  }
+  line.append("}}\n");
+
+  out_ << line;
+  out_.flush();
+  if (!out_.good()) {
+    status_ = UnavailableError("failed writing metrics stream '" + path_ + "'");
+    return;
+  }
+  seq_ += 1;
+}
+
+}  // namespace malt

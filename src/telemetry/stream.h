@@ -1,0 +1,70 @@
+// Live metrics streaming: periodic NDJSON snapshots of a running cluster.
+//
+// A MetricsStreamer owns an output file and, on every Sample(ts) call,
+// renders the cluster-wide aggregate (TelemetryDomain::Merged()) as ONE
+// newline-terminated JSON object — a delta record, so a consumer can plot
+// rates without diffing:
+//
+//   {"seq":3,"ts_ns":150000000,
+//    "counters":{"dstorm.objects_sent":120, ...},        // delta since prev
+//    "gauges":{"fault.alive_ranks":8, ...},              // absolute
+//    "histograms":{"comm.edge.0-1.delivery_ns":
+//        {"count":640,"delta":80,"p50":2100,"p90":3400,"p99":5100}, ...}}
+//
+// Counters appear only when their delta is nonzero; histograms only when
+// their count moved (the final record emitted by Finish() is unconditional,
+// so every stream has at least one line). Each Sample also mirrors trace
+// loss into the "telemetry.trace.dropped" counters first, so a live reader
+// sees ring overflow as it happens.
+//
+// Concurrency: Sample() must be called from ONE driver at a time — the
+// wall-clock sampler thread under shmem, the auxiliary virtual-time process
+// under sim (see Malt::Run) — while every rank concurrently bumps its
+// registry. That is safe because the metric primitives are atomic and
+// MetricRegistry locks its maps (see metrics.h).
+
+#ifndef SRC_TELEMETRY_STREAM_H_
+#define SRC_TELEMETRY_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/telemetry/telemetry.h"
+
+namespace malt {
+
+class MetricsStreamer {
+ public:
+  // Opens `path` for writing; check status() before sampling.
+  MetricsStreamer(TelemetryDomain* domain, std::string path);
+
+  const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
+  int64_t samples() const { return seq_; }
+
+  // Appends one delta record stamped `ts_ns` and flushes, unless nothing
+  // changed since the previous record (then the tick is skipped).
+  void Sample(SimTime ts_ns);
+
+  // Unconditional final record + flush; the stream is complete after this.
+  void Finish(SimTime ts_ns);
+
+ private:
+  void WriteRecord(SimTime ts_ns, bool force);
+
+  TelemetryDomain* domain_;
+  std::string path_;
+  std::ofstream out_;
+  Status status_;
+  int64_t seq_ = 0;
+  std::map<std::string, int64_t> prev_counters_;
+  std::map<std::string, int64_t> prev_hist_counts_;
+};
+
+}  // namespace malt
+
+#endif  // SRC_TELEMETRY_STREAM_H_

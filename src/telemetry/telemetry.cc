@@ -79,4 +79,14 @@ int64_t TelemetryDomain::TraceDropped() const {
   return dropped;
 }
 
+void TelemetryDomain::SyncTraceDroppedCounters() {
+  for (auto& rank : ranks_) {
+    Counter* c = rank->metrics.GetCounter("telemetry.trace.dropped");
+    const int64_t delta = rank->trace.dropped() - c->value();
+    if (delta > 0) {
+      c->Add(delta);
+    }
+  }
+}
+
 }  // namespace malt

@@ -26,6 +26,15 @@ namespace malt {
 struct TelemetryOptions {
   // Retained trace events per rank (ring overwrites oldest beyond this).
   size_t trace_capacity = 16384;
+  // Emit update-lineage flow events ('s'/'t'/'f') and per-edge delivery
+  // histograms for every scatter. On by default; benches turn it off to
+  // measure the tracing overhead.
+  bool flow_events = true;
+  // Background sampler: when > 0 and a stream path is set, snapshot all
+  // metrics every interval as one NDJSON delta line (virtual time under sim,
+  // a wall-clock thread under shmem). See src/telemetry/stream.h.
+  int metrics_interval_ms = 0;
+  std::string metrics_stream_path;
 };
 
 struct RankTelemetry {
@@ -58,6 +67,12 @@ class TelemetryDomain {
   // Total events overwritten across all rings (0 means the export is
   // complete; nonzero means only the newest window per rank survived).
   int64_t TraceDropped() const;
+
+  // Mirrors each ring's dropped() into that rank's
+  // "telemetry.trace.dropped" counter (delta-add, so repeated calls are
+  // idempotent). The sampler calls this every tick; the runtime calls it
+  // once more at run end so exports always carry the loss count.
+  void SyncTraceDroppedCounters();
 
  private:
   std::vector<const TraceRing*> Rings() const;

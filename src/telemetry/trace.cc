@@ -11,9 +11,9 @@ namespace malt {
 
 TraceRing::TraceRing(size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
 
-void TraceRing::Emit(const TraceEvent& event) {
+void TraceRing::EmitLocked(const TraceEvent& event) {
   if (size_ == buf_.size()) {
-    dropped_ += 1;  // overwriting the oldest retained event
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // overwriting the oldest retained event
   } else {
     size_ += 1;
   }
@@ -21,7 +21,29 @@ void TraceRing::Emit(const TraceEvent& event) {
   next_ = (next_ + 1) % buf_.size();
 }
 
+void TraceRing::Emit(const TraceEvent& event) {
+  std::lock_guard<SpinLock> lock(mu_);
+  EmitLocked(event);
+}
+
+void TraceRing::EmitPair(const TraceEvent& first, const TraceEvent& second) {
+  std::lock_guard<SpinLock> lock(mu_);
+  EmitLocked(first);
+  EmitLocked(second);
+}
+
+size_t TraceRing::capacity() const {
+  std::lock_guard<SpinLock> lock(mu_);
+  return buf_.size();
+}
+
+size_t TraceRing::size() const {
+  std::lock_guard<SpinLock> lock(mu_);
+  return size_;
+}
+
 void TraceRing::ForEach(const std::function<void(const TraceEvent&)>& fn) const {
+  std::lock_guard<SpinLock> lock(mu_);
   const size_t oldest = (next_ + buf_.size() - size_) % buf_.size();
   for (size_t i = 0; i < size_; ++i) {
     fn(buf_[(oldest + i) % buf_.size()]);
@@ -30,18 +52,20 @@ void TraceRing::ForEach(const std::function<void(const TraceEvent&)>& fn) const 
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
   std::vector<TraceEvent> out;
-  out.reserve(size_);
   ForEach([&out](const TraceEvent& e) { out.push_back(e); });
   return out;
 }
 
 void TraceRing::Clear() {
+  std::lock_guard<SpinLock> lock(mu_);
   next_ = 0;
   size_ = 0;
-  dropped_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
+
+bool IsFlowPhase(char ph) { return ph == 's' || ph == 't' || ph == 'f'; }
 
 void AppendEventJson(std::string* out, const TraceEvent& e, int tid) {
   char buf[64];
@@ -61,6 +85,16 @@ void AppendEventJson(std::string* out, const TraceEvent& e, int tid) {
   out->append(buf);
   if (e.ph == 'i') {
     out->append(",\"s\":\"t\"");  // instant scope: thread
+  }
+  if (IsFlowPhase(e.ph)) {
+    // Flow events need a shared category + id across the 's'/'t'/'f' triple;
+    // step/finish bind to the enclosing slice on their track ("bp":"e").
+    std::snprintf(buf, sizeof(buf), ",\"cat\":\"dataflow\",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(e.flow_id));
+    out->append(buf);
+    if (e.ph != 's') {
+      out->append(",\"bp\":\"e\"");
+    }
   }
   if (e.arg_name != nullptr) {
     out->append(",\"args\":{");
@@ -88,8 +122,9 @@ void AppendChromeTrace(std::string* out, const std::vector<const TraceRing*>& ri
     if (rings[tid] == nullptr) {
       continue;
     }
-    rings[tid]->ForEach(
-        [&all, tid](const TraceEvent& e) { all.push_back({e, static_cast<int>(tid)}); });
+    rings[tid]->ForEach([&all, tid](const TraceEvent& e) {
+      all.push_back({e, e.tid >= 0 ? e.tid : static_cast<int>(tid)});
+    });
   }
   std::stable_sort(all.begin(), all.end(),
                    [](const Tagged& a, const Tagged& b) { return a.event.ts < b.event.ts; });

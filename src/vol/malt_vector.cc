@@ -40,6 +40,12 @@ MaltVector::MaltVector(Dstorm& dstorm, MaltVectorOptions options)
   c_updates_folded_ = reg.GetCounter("vol.updates_folded");
   c_values_folded_ = reg.GetCounter("vol.values_folded");
   c_stale_dropped_ = reg.GetCounter("dstorm.stale_objects_dropped");
+  staleness_by_sender_.assign(dstorm_.world(), nullptr);
+  for (int sender : options_.graph.InEdges(dstorm_.rank())) {
+    staleness_by_sender_[static_cast<size_t>(sender)] = reg.GetHistogram(
+        EdgeMetricName(sender, dstorm_.rank(), "staleness_epochs"),
+        EdgeStalenessHistogramOptions());
+  }
 }
 
 Status MaltVector::EncodeAndScatter(std::span<const int>* dsts) {
@@ -143,6 +149,15 @@ std::vector<MaltVector::Decoded> MaltVector::Collect(int64_t min_iter) {
     updates.push_back(d);
   });
   c_gathers_->Add(1);
+  // Staleness at consume: how far behind the reader's stamp each arriving
+  // update is, observed before the ASP filter so dropped stragglers count too.
+  for (const Decoded& d : updates) {
+    HistogramMetric* h = staleness_by_sender_[static_cast<size_t>(d.sender)];
+    if (h != nullptr) {
+      h->Observe(static_cast<double>(
+          std::max<int64_t>(0, static_cast<int64_t>(iteration_) - static_cast<int64_t>(d.iter))));
+    }
+  }
   if (min_iter >= 0) {
     const size_t before = updates.size();
     std::erase_if(updates, [min_iter](const Decoded& d) {

@@ -156,6 +156,9 @@ class MaltVector {
   Counter* c_updates_folded_ = nullptr;
   Counter* c_values_folded_ = nullptr;
   Counter* c_stale_dropped_ = nullptr;
+  // comm.edge.<sender>-<rank>.staleness_epochs, one per in-neighbor: how many
+  // epochs behind this replica's stamp each consumed update was.
+  std::vector<HistogramMetric*> staleness_by_sender_;  // [world], null off-graph
 };
 
 }  // namespace malt

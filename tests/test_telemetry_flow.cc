@@ -1,0 +1,161 @@
+// Flow-traced one-sided writes: every scatter carries a compact trace
+// context (src, epoch, wire seq) and shows up in the Chrome export as an
+// 's' -> 't' -> 'f' flow — send at the sender, apply at the receiver,
+// consume at gather-fold — with one shared flow id, so the three stages of
+// a single update connect into a clickable arrow in Perfetto. Covers the
+// ring-level emit, the id packing, and the end-to-end round trip on BOTH
+// transports, plus the comm.edge.* metrics that ride along.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
+
+namespace malt {
+namespace {
+
+// Flow ids of all events with the given phase, scanned out of the one-event-
+// per-line Chrome JSON (no JSON parser needed for the export we control).
+std::set<std::string> FlowIds(const std::string& json, char ph) {
+  std::set<std::string> ids;
+  std::istringstream in(json);
+  std::string line;
+  const std::string ph_key = std::string("\"ph\":\"") + ph + "\"";
+  while (std::getline(in, line)) {
+    if (line.find(ph_key) == std::string::npos) {
+      continue;
+    }
+    const size_t id_at = line.find("\"id\":\"");
+    if (id_at == std::string::npos) {
+      continue;
+    }
+    const size_t begin = id_at + 6;
+    const size_t end = line.find('"', begin);
+    ids.insert(line.substr(begin, end - begin));
+  }
+  return ids;
+}
+
+TEST(Flow, MakeFlowIdPacksSrcDstRkeySeq) {
+  // Layout: src byte | dst byte | rkey 16 bits | seq 32 bits.
+  EXPECT_EQ(MakeFlowId(0, 0, 0, 0), 0u);
+  EXPECT_EQ(MakeFlowId(1, 3, 2, 1), 0x0103000200000001ull);
+  // Any field change changes the id.
+  const uint64_t base = MakeFlowId(1, 2, 3, 4);
+  EXPECT_NE(base, MakeFlowId(2, 2, 3, 4));
+  EXPECT_NE(base, MakeFlowId(1, 3, 3, 4));
+  EXPECT_NE(base, MakeFlowId(1, 2, 4, 4));
+  EXPECT_NE(base, MakeFlowId(1, 2, 3, 5));
+  // Deterministic: the consumer recomputes the id from the wire header and
+  // must land on the sender's value.
+  EXPECT_EQ(base, MakeFlowId(1, 2, 3, 4));
+}
+
+TEST(Flow, RingEmitsChromeFlowTriple) {
+  TelemetryDomain domain(1);
+  TraceRing& ring = domain.rank(0).trace;
+  const uint64_t id = MakeFlowId(0, 1, 7, 42);
+  ring.FlowStart(kFlowUpdateName, 100, id, 5);
+  ring.Complete("update.apply", 200, 10);
+  ring.FlowStep(kFlowUpdateName, 200, id, 5);
+  ring.FlowFinish(kFlowUpdateName, 300, id, 5);
+  const std::string json = domain.TraceJson();
+
+  const std::set<std::string> s = FlowIds(json, 's');
+  const std::set<std::string> t = FlowIds(json, 't');
+  const std::set<std::string> f = FlowIds(json, 'f');
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s, t);
+  EXPECT_EQ(s, f);
+  // Flow events carry the dataflow category; 't'/'f' bind to the enclosing
+  // slice ("bp":"e"), the start does not need it.
+  EXPECT_NE(json.find("\"cat\":\"dataflow\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"iter\":5"), std::string::npos);
+}
+
+// One BSP averaging run; returns the cluster trace JSON and leaves the
+// merged registry assertions to the caller.
+std::string RunAndTrace(TransportKind transport, bool flow_events, Malt** out_malt,
+                        std::vector<std::unique_ptr<Malt>>& keep) {
+  MaltOptions options;
+  options.transport = transport;
+  options.ranks = 4;
+  options.telemetry.flow_events = flow_events;
+  keep.push_back(std::make_unique<Malt>(options));
+  Malt& malt = *keep.back();
+  malt.Run([](Worker& w) {
+    MaltVector v = w.CreateVector("model", 32);
+    for (int round = 0; round < 3; ++round) {
+      v.set_iteration(static_cast<uint32_t>(round + 1));
+      ASSERT_TRUE(v.Scatter().ok());
+      ASSERT_TRUE(w.Barrier().ok());
+      v.GatherAverage();
+      ASSERT_TRUE(w.Barrier().ok());
+    }
+  });
+  *out_malt = &malt;
+  return malt.telemetry().TraceJson();
+}
+
+void ExpectFlowRoundTrip(TransportKind transport) {
+  std::vector<std::unique_ptr<Malt>> keep;
+  Malt* malt = nullptr;
+  const std::string json = RunAndTrace(transport, /*flow_events=*/true, &malt, keep);
+
+  const std::set<std::string> s = FlowIds(json, 's');
+  const std::set<std::string> t = FlowIds(json, 't');
+  const std::set<std::string> f = FlowIds(json, 'f');
+  // 4 ranks all-to-all, 3 rounds: 36 scatters, every one applied and folded.
+  EXPECT_EQ(s.size(), 36u);
+  EXPECT_EQ(t, s) << "every send must have a matching receiver-side apply";
+  EXPECT_EQ(f, s) << "every send must have a matching gather-fold consume";
+
+  // The per-edge metrics ride along: bytes/msgs at apply (these also count
+  // untraced control traffic such as barrier writes, so >= the 3 scatters),
+  // delivery latency observed per traced update, staleness at consume.
+  MetricRegistry merged = malt->telemetry().Merged();
+  EXPECT_GE(merged.GetCounter(EdgeMetricName(0, 1, "msgs"))->value(), 3);
+  EXPECT_GT(merged.GetCounter(EdgeMetricName(0, 1, "bytes"))->value(), 0);
+  EXPECT_EQ(merged
+                .GetHistogram(EdgeMetricName(0, 1, "delivery_ns"),
+                              EdgeDeliveryHistogramOptions())
+                ->count(),
+            3);
+  EXPECT_EQ(merged
+                .GetHistogram(EdgeMetricName(0, 1, "staleness_epochs"),
+                              EdgeStalenessHistogramOptions())
+                ->count(),
+            3);
+}
+
+TEST(Flow, SimScatterApplyFoldShareOneFlowId) { ExpectFlowRoundTrip(TransportKind::kSim); }
+
+TEST(Flow, ShmemScatterApplyFoldShareOneFlowId) { ExpectFlowRoundTrip(TransportKind::kShmem); }
+
+TEST(Flow, DisablingFlowEventsSuppressesFlowPhasesButKeepsEdgeCounters) {
+  std::vector<std::unique_ptr<Malt>> keep;
+  Malt* malt = nullptr;
+  const std::string json = RunAndTrace(TransportKind::kSim, /*flow_events=*/false, &malt, keep);
+  EXPECT_TRUE(FlowIds(json, 's').empty());
+  EXPECT_TRUE(FlowIds(json, 't').empty());
+  EXPECT_TRUE(FlowIds(json, 'f').empty());
+  // Edge byte/message accounting is cheap and stays on; only the per-update
+  // lineage (flow events + delivery histogram) is gated.
+  MetricRegistry merged = malt->telemetry().Merged();
+  EXPECT_GE(merged.GetCounter(EdgeMetricName(0, 1, "msgs"))->value(), 3);
+  EXPECT_EQ(merged
+                .GetHistogram(EdgeMetricName(0, 1, "delivery_ns"),
+                              EdgeDeliveryHistogramOptions())
+                ->count(),
+            0);
+}
+
+}  // namespace
+}  // namespace malt

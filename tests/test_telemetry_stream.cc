@@ -1,0 +1,182 @@
+// MetricsStreamer: periodic NDJSON delta snapshots of a live cluster.
+// Covers the record schema (seq/ts_ns/counters/gauges/histograms), delta
+// semantics (counters report movement since the previous record, quiet ticks
+// are skipped, Finish always writes), trace-loss mirroring into
+// telemetry.trace.dropped, and an 8-rank shared-memory stress where the
+// sampler thread races real worker threads (tools/check.sh re-runs this
+// suite under ThreadSanitizer).
+
+#include "src/telemetry/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace malt {
+namespace {
+
+std::vector<std::string> Lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(Stream, DeltaRecordsSkipQuietTicksAndFinishForces) {
+  const std::string path = testing::TempDir() + "stream_unit.ndjson";
+  TelemetryDomain domain(2);
+  Counter* c0 = domain.rank(0).metrics.GetCounter("app.steps");
+  Counter* c1 = domain.rank(1).metrics.GetCounter("app.steps");
+  HistogramMetric* h = domain.rank(0).metrics.GetHistogram(
+      EdgeMetricName(1, 0, "delivery_ns"), EdgeDeliveryHistogramOptions());
+
+  MetricsStreamer streamer(&domain, path);
+  ASSERT_TRUE(streamer.status().ok()) << streamer.status().ToString();
+
+  c0->Add(5);
+  c1->Add(2);
+  h->Observe(1500.0);
+  streamer.Sample(100);
+  c0->Add(3);
+  streamer.Sample(200);
+  streamer.Sample(300);  // nothing moved: skipped
+  streamer.Finish(400);  // unconditional
+
+  EXPECT_EQ(streamer.samples(), 3);
+  const std::vector<std::string> lines = Lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ts_ns\":"), std::string::npos);
+  }
+  // First record (seq is 0-based): aggregate of both ranks, histogram with
+  // count + quantiles.
+  EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"app.steps\":7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"comm.edge.1-0.delivery_ns\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"p50\":"), std::string::npos);
+  // Second record: only the 3-step delta, no histogram (its count is flat).
+  EXPECT_NE(lines[1].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"app.steps\":3"), std::string::npos);
+  EXPECT_EQ(lines[1].find("delivery_ns"), std::string::npos);
+  // Final record is the forced Finish at ts 400 with nothing new.
+  EXPECT_NE(lines[2].find("\"seq\":2"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ts_ns\":400"), std::string::npos);
+}
+
+TEST(Stream, MirrorsTraceLossIntoDroppedCounter) {
+  TelemetryOptions topt;
+  topt.trace_capacity = 4;
+  TelemetryDomain domain(1, topt);
+  for (int i = 0; i < 10; ++i) {
+    domain.rank(0).trace.Instant("tick", i);
+  }
+  const std::string path = testing::TempDir() + "stream_dropped.ndjson";
+  MetricsStreamer streamer(&domain, path);
+  streamer.Finish(50);
+  const std::vector<std::string> lines = Lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"telemetry.trace.dropped\":6"), std::string::npos);
+  EXPECT_EQ(domain.Merged().GetCounter("telemetry.trace.dropped")->value(), 6);
+}
+
+// 8 concurrent worker threads scatter/gather while the wall-clock sampler
+// snapshots the shared registries mid-run. The assertions here are about the
+// stream's integrity; the data-race half of the contract is enforced by the
+// TSan stage in tools/check.sh re-running this binary.
+TEST(Stream, ShmemEightRankSamplerStress) {
+  const std::string path = testing::TempDir() + "stream_shmem8.ndjson";
+  MaltOptions options;
+  options.transport = TransportKind::kShmem;
+  options.ranks = 8;
+  options.telemetry.metrics_interval_ms = 2;
+  options.telemetry.metrics_stream_path = path;
+  Malt malt(options);
+  malt.Run([](Worker& w) {
+    MaltVector v = w.CreateVector("model", 256);
+    for (int round = 0; round < 20; ++round) {
+      v.set_iteration(static_cast<uint32_t>(round + 1));
+      ASSERT_TRUE(v.Scatter().ok());
+      ASSERT_TRUE(w.Barrier().ok());
+      v.GatherAverage();
+      ASSERT_TRUE(w.Barrier().ok());
+    }
+  });
+
+  ASSERT_NE(malt.metrics_streamer(), nullptr);
+  EXPECT_TRUE(malt.metrics_streamer()->status().ok());
+  EXPECT_GE(malt.metrics_streamer()->samples(), 1);
+
+  const std::vector<std::string> lines = Lines(path);
+  ASSERT_GE(lines.size(), 1u);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].front(), '{');
+    EXPECT_EQ(lines[i].back(), '}');
+    std::ostringstream want_seq;
+    want_seq << "\"seq\":" << i << ",";
+    EXPECT_NE(lines[i].find(want_seq.str()), std::string::npos)
+        << "record " << i << " out of sequence: " << lines[i].substr(0, 60);
+  }
+  // The full run's worth of scatters must be visible across the stream: the
+  // per-record deltas of one counter sum to its final merged value.
+  int64_t scatters = 0;
+  for (const std::string& line : lines) {
+    const size_t at = line.find("\"vol.scatters\":");
+    if (at != std::string::npos) {
+      scatters += std::stoll(line.substr(at + 15));
+    }
+  }
+  EXPECT_EQ(scatters, 8 * 20);
+}
+
+// The sim backend samples on VIRTUAL time from an auxiliary engine process:
+// records are stamped with the run's virtual clock and the sampler never
+// deadlocks the engine (it exits when every rank process finishes).
+TEST(Stream, SimSamplerRunsOnVirtualTime) {
+  const std::string path = testing::TempDir() + "stream_sim.ndjson";
+  MaltOptions options;
+  options.transport = TransportKind::kSim;
+  options.ranks = 4;
+  options.telemetry.metrics_interval_ms = 1;
+  options.telemetry.metrics_stream_path = path;
+  Malt malt(options);
+  malt.Run([](Worker& w) {
+    MaltVector v = w.CreateVector("model", 64);
+    for (int round = 0; round < 10; ++round) {
+      // Charge enough virtual compute that several 1 ms sampler ticks fire.
+      w.ChargeSeconds(0.001);
+      v.set_iteration(static_cast<uint32_t>(round + 1));
+      ASSERT_TRUE(v.Scatter().ok());
+      ASSERT_TRUE(w.Barrier().ok());
+      v.GatherAverage();
+      ASSERT_TRUE(w.Barrier().ok());
+    }
+  });
+  ASSERT_NE(malt.metrics_streamer(), nullptr);
+  EXPECT_GE(malt.metrics_streamer()->samples(), 3);
+  const std::vector<std::string> lines = Lines(path);
+  ASSERT_GE(lines.size(), 3u);
+  // Timestamps are virtual nanoseconds and strictly increase.
+  int64_t prev = -1;
+  for (const std::string& line : lines) {
+    const size_t at = line.find("\"ts_ns\":");
+    ASSERT_NE(at, std::string::npos);
+    const int64_t ts = std::stoll(line.substr(at + 8));
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+}
+
+}  // namespace
+}  // namespace malt

@@ -17,10 +17,13 @@
 #   5. malt_run --check=full — the SVM example under the happens-before
 #                      validator, on both transports; any violation fails
 #                      the gate.
-#   6. TSan build + ctest -L shmem — the shared-memory transport suite
-#                      (real concurrent rank threads) under ThreadSanitizer;
-#                      any data race fails the gate.
-#   7. ASan build + full ctest — the whole suite under AddressSanitizer with
+#   6. trace_report.py smoke — flow-traced runs with the NDJSON sampler on
+#                      both transports, rendered by tools/trace_report.py.
+#   7. TSan build + ctest -L shmem — the shared-memory transport suite
+#                      (real concurrent rank threads) under ThreadSanitizer,
+#                      plus an 8-rank malt_run with the 50ms metrics sampler
+#                      racing the workers; any data race fails the gate.
+#   8. ASan build + full ctest — the whole suite under AddressSanitizer with
 #                      LeakSanitizer on; any bad access or leak fails the
 #                      gate.
 set -u
@@ -99,7 +102,30 @@ else
   fail "malt_run --check=full --transport=shmem reported violations"
 fi
 
-# --- 6. TSan build + shmem-labelled tests ------------------------------------
+# --- 6. trace_report smoke on both transports --------------------------------
+note "trace_report.py smoke (sim + shmem)"
+trace_report_smoke() {
+  local transport="$1"
+  local prefix="/tmp/malt_check_report_${transport}"
+  "$BUILD_DIR/tools/malt_run" --app=svm --ranks=4 --epochs=2 --transport="$transport" \
+      --trace_out="${prefix}_trace.json" --metrics_out="${prefix}_metrics.json" \
+      --metrics_interval_ms=20 --metrics_stream="${prefix}_stream.ndjson" \
+      > /dev/null \
+    && python3 "$REPO/tools/trace_report.py" --trace "${prefix}_trace.json" \
+         --metrics "${prefix}_metrics.json" --stream "${prefix}_stream.ndjson" \
+         > "${prefix}_report.txt" \
+    && grep -q 'flow summary' "${prefix}_report.txt" \
+    && grep -q 'per-edge communication' "${prefix}_report.txt"
+}
+for transport in sim shmem; do
+  if trace_report_smoke "$transport"; then
+    echo "trace_report.py OK ($transport; /tmp/malt_check_report_${transport}_report.txt)"
+  else
+    fail "trace_report.py smoke ($transport)"
+  fi
+done
+
+# --- 7. TSan build + shmem-labelled tests ------------------------------------
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-$REPO/build-tsan}"
 note "configure + build (MALT_SANITIZE=thread) in $TSAN_BUILD_DIR"
 if [ "$FAST" = 1 ]; then
@@ -108,7 +134,7 @@ else
   if cmake -B "$TSAN_BUILD_DIR" -S "$REPO" -DMALT_SANITIZE=thread >/dev/null \
      && cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
           --target test_base_seqlock test_shmem_transport test_shmem_dstorm test_shmem_runtime \
-                   test_check_shmem \
+                   test_check_shmem test_telemetry_flow test_telemetry_stream malt_run \
           > /tmp/malt_check_tsan_build.log 2>&1; then
     echo "TSan build OK"
     note "ctest -L shmem (ThreadSanitizer)"
@@ -118,13 +144,25 @@ else
     else
       fail "ctest -L shmem under TSan"
     fi
+    # Observability acceptance run: 8 concurrent rank threads with flow
+    # tracing on and the wall-clock NDJSON sampler racing them at 50ms,
+    # under TSan — the sampler reads every counter the workers write.
+    note "malt_run 8-rank shmem + 50ms sampler (ThreadSanitizer)"
+    if TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD_DIR/tools/malt_run" \
+         --app=svm --ranks=8 --epochs=3 --transport=shmem \
+         --metrics_interval_ms=50 --metrics_stream=/tmp/malt_check_stream.ndjson \
+         --trace_out=/tmp/malt_check_trace_shmem.json; then
+      echo "TSan sampler run OK (stream: /tmp/malt_check_stream.ndjson)"
+    else
+      fail "malt_run shmem sampler run under TSan"
+    fi
   else
     tail -40 /tmp/malt_check_tsan_build.log
     fail "TSan build"
   fi
 fi
 
-# --- 7. ASan build + full test suite ------------------------------------------
+# --- 8. ASan build + full test suite ------------------------------------------
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-$REPO/build-asan}"
 note "configure + build (MALT_SANITIZE=address) in $ASAN_BUILD_DIR"
 if [ "$FAST" = 1 ]; then

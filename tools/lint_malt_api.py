@@ -17,6 +17,11 @@ Rules:
                   (e.g. "fabric.writes_posted"): segments of [a-z0-9_-],
                   joined by dots. Mixed case or spaces break the exported
                   JSON conventions and the check.violations.<kind> scheme.
+  edge-name       The per-edge comm metric namespace ("comm.edge.<src>-<dst>.*")
+                  is minted only by EdgeMetricName() in src/telemetry/; a
+                  literal "comm.edge." prefix anywhere else means a caller is
+                  hand-rolling the name and will drift from the convention
+                  tools/trace_report.py and the Merge() fold rely on.
 
 A line containing NOLINT(malt-api) is skipped. Exit status: 0 clean,
 1 findings, 2 usage error.
@@ -39,6 +44,7 @@ GETTER = re.compile(r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"')
 MEM_WRITE = re.compile(r"\bmem(?:cpy|set|move)\s*\(\s*([^,;]*)")
 SEGMENT_DEST = re.compile(r"Data\s*\(|\bregion|->bytes|\bsegment\b")
 RAW_SPAN = re.compile(r"(?:->|\.)Data\s*\(")
+EDGE_LITERAL = re.compile(r'"comm\.edge\.')
 NONDETERMINISM = re.compile(
     r"std::chrono|steady_clock|system_clock|\btime\s*\(|\brand\s*\(|"
     r"\bsrand\s*\(|random_device|\bgetenv\b"
@@ -75,6 +81,11 @@ def lint_file(path: Path, findings: list) -> None:
                 findings.append((rel, lineno, "segment-write",
                                  "raw Transport::Data() span outside the "
                                  "transport implementations; use Read/Write"))
+
+        if not rel.startswith("src/telemetry/") and EDGE_LITERAL.search(stripped):
+            findings.append((rel, lineno, "edge-name",
+                             'literal "comm.edge." outside src/telemetry/; '
+                             "mint edge metric names with EdgeMetricName()"))
 
         if in_check and NONDETERMINISM.search(stripped):
             findings.append((rel, lineno, "check-determinism",

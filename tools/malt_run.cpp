@@ -66,6 +66,11 @@ void EmitCsv(const std::string& path, const malt::Series& series, const char* x_
 // https://ui.perfetto.dev).
 void EmitTelemetry(malt::Malt& malt, const std::string& metrics_out,
                    const std::string& trace_out) {
+  const int64_t dropped = malt.telemetry().TraceDropped();
+  if (dropped > 0) {
+    std::printf("warning: %lld trace events dropped (ring wrapped; raise --trace_capacity)\n",
+                static_cast<long long>(dropped));
+  }
   if (!metrics_out.empty()) {
     const malt::Status status = malt.telemetry().WriteMetricsJson(metrics_out);
     MALT_CHECK(status.ok()) << status.ToString();
@@ -74,9 +79,17 @@ void EmitTelemetry(malt::Malt& malt, const std::string& metrics_out,
   if (!trace_out.empty()) {
     const malt::Status status = malt.telemetry().WriteChromeTrace(trace_out);
     MALT_CHECK(status.ok()) << status.ToString();
-    const int64_t dropped = malt.telemetry().TraceDropped();
     std::printf("wrote Chrome trace to %s%s\n", trace_out.c_str(),
                 dropped > 0 ? " (ring wrapped; oldest events dropped)" : "");
+  }
+  if (malt::MetricsStreamer* streamer = malt.metrics_streamer()) {
+    if (!streamer->status().ok()) {
+      std::printf("warning: metrics stream %s: %s\n", streamer->path().c_str(),
+                  streamer->status().ToString().c_str());
+    } else {
+      std::printf("streamed %lld metric samples to %s\n",
+                  static_cast<long long>(streamer->samples()), streamer->path().c_str());
+    }
   }
 }
 
@@ -101,6 +114,16 @@ int64_t EmitCheck(malt::Malt& malt, const std::string& check_out) {
     std::printf("wrote check report to %s\n", check_out.c_str());
   }
   return checker.violation_count();
+}
+
+// Shared exit path for every app branch: telemetry is flushed (drop warning,
+// metrics, trace, stream summary) BEFORE the checker report can turn into a
+// nonzero exit — a run that fails the protocol check still leaves its
+// observability artifacts behind.
+int Epilogue(malt::Malt& malt, const std::string& metrics_out, const std::string& trace_out,
+             const std::string& check_out) {
+  EmitTelemetry(malt, metrics_out, trace_out);
+  return EmitCheck(malt, check_out) > 0 ? 3 : 0;
 }
 
 }  // namespace
@@ -138,6 +161,12 @@ int main(int argc, char** argv) {
       flags.GetString("trace_out", "", "write a Chrome trace_event JSON here");
   const int trace_capacity = static_cast<int>(
       flags.GetInt("trace_capacity", 16384, "retained trace events per rank"));
+  const int flow_events = static_cast<int>(
+      flags.GetInt("flow_events", 1, "tag one-sided writes with flow trace context (0 to disable)"));
+  const int metrics_interval_ms = static_cast<int>(flags.GetInt(
+      "metrics_interval_ms", 0, "sample metrics every N ms mid-run (0 = off)"));
+  const std::string metrics_stream = flags.GetString(
+      "metrics_stream", "", "append NDJSON metric samples here (with --metrics_interval_ms)");
   const double kill_at = flags.GetDouble("kill_at", -1.0, "kill a rank at this virtual time");
   const int kill_rank = static_cast<int>(flags.GetInt("kill_rank", -1, "which rank to kill"));
   const std::string check_level =
@@ -146,6 +175,11 @@ int main(int argc, char** argv) {
       flags.GetString("check_out", "", "write the checker's violations report (JSON) here");
   flags.Finish();
   options.telemetry.trace_capacity = static_cast<size_t>(trace_capacity);
+  options.telemetry.flow_events = flow_events != 0;
+  options.telemetry.metrics_interval_ms = metrics_interval_ms;
+  options.telemetry.metrics_stream_path = metrics_stream;
+  MALT_CHECK(metrics_interval_ms <= 0 || !metrics_stream.empty())
+      << "--metrics_interval_ms needs --metrics_stream=FILE";
   const malt::Result<malt::CheckLevel> parsed_check = malt::ParseCheckLevel(check_level);
   MALT_CHECK(parsed_check.ok()) << parsed_check.status().ToString();
   options.check = *parsed_check;
@@ -182,8 +216,7 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       EmitCsv(csv, r.loss_vs_time, "virtual_seconds", "test_hinge_loss");
     }
-    EmitTelemetry(malt, metrics_out, trace_out);
-    return EmitCheck(malt, check_out) > 0 ? 3 : 0;
+    return Epilogue(malt, metrics_out, trace_out, check_out);
   }
 
   if (app == "mf") {
@@ -202,8 +235,7 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       EmitCsv(csv, r.rmse_vs_time, "virtual_seconds", "test_rmse");
     }
-    EmitTelemetry(malt, metrics_out, trace_out);
-    return EmitCheck(malt, check_out) > 0 ? 3 : 0;
+    return Epilogue(malt, metrics_out, trace_out, check_out);
   }
 
   if (app == "nn") {
@@ -225,8 +257,7 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       EmitCsv(csv, r.auc_vs_time, "virtual_seconds", "test_auc");
     }
-    EmitTelemetry(malt, metrics_out, trace_out);
-    return EmitCheck(malt, check_out) > 0 ? 3 : 0;
+    return Epilogue(malt, metrics_out, trace_out, check_out);
   }
 
   MALT_CHECK(false) << "unknown --app '" << app << "' (svm|mf|nn)";

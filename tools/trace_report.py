@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Render malt_run's observability artifacts as human-readable tables.
+
+Inputs (any subset; at least one):
+  --trace FILE    Chrome trace_event JSON written by --trace_out
+  --stream FILE   NDJSON metric samples written by --metrics_stream
+  --metrics FILE  metrics report JSON written by --metrics_out
+
+Sections:
+  * per-rank phase breakdown (compute/scatter/gather/barrier spans from B/E
+    pairs in the trace — the paper's Fig. 8 view)
+  * flow summary: how many update flows started ('s'), were applied at the
+    receiver ('t'), and were consumed by a gather-fold ('f'), and how many
+    ids form complete s->t->f triples
+  * per-edge table: bytes/msgs/delivery latency/staleness per (src->dst)
+    edge, from the comm.edge.* metrics in the stream or metrics report
+  * stream timeline: one row per NDJSON sample with the busiest counters
+
+Example:
+  malt_run --app=svm --ranks=8 --transport=shmem --trace_out=tr.json \
+           --metrics_interval_ms=50 --metrics_stream=st.ndjson
+  python3 tools/trace_report.py --trace tr.json --stream st.ndjson
+"""
+
+import argparse
+import collections
+import json
+import re
+import sys
+
+EDGE_RE = re.compile(r"^comm\.edge\.(\d+)-(\d+)\.([a-z_]+)$")
+PHASES = ("compute", "scatter", "gather", "barrier")
+
+
+def load_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc["traceEvents"] if isinstance(doc, dict) else doc
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "%.3fs" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.3fms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.1fus" % (ns / 1e3)
+    return "%dns" % int(ns)
+
+
+def table(headers, rows):
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out = [line, "-" * len(line)]
+    for r in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def report_phases(events):
+    # ts in the export is microseconds; spans come from matched B/E pairs.
+    spans = collections.defaultdict(float)  # (tid, name) -> total us
+    open_at = {}
+    for e in events:
+        key = (e.get("tid"), e.get("name"))
+        if e.get("ph") == "B" and e.get("name") in PHASES:
+            open_at[key] = e["ts"]
+        elif e.get("ph") == "E" and key in open_at:
+            spans[key] += e["ts"] - open_at.pop(key)
+    if not spans:
+        return
+    ranks = sorted({tid for tid, _ in spans})
+    rows = []
+    for tid in ranks:
+        total = sum(spans.get((tid, p), 0.0) for p in PHASES)
+        row = ["rank %d" % tid]
+        for p in PHASES:
+            us = spans.get((tid, p), 0.0)
+            pct = 100.0 * us / total if total else 0.0
+            row.append("%s (%4.1f%%)" % (fmt_ns(us * 1e3), pct))
+        rows.append(row)
+    print("\n== per-rank phase breakdown ==")
+    print(table(["rank"] + list(PHASES), rows))
+
+
+def report_flows(events):
+    ids = {ph: set() for ph in "stf"}
+    send_ts = {}
+    apply_ts = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph in ids and "id" in e:
+            ids[ph].add(e["id"])
+            if ph == "s":
+                send_ts[e["id"]] = e["ts"]
+            elif ph == "t":
+                apply_ts[e["id"]] = e["ts"]
+    if not ids["s"]:
+        print("\n== flow summary ==\nno flow events in trace "
+              "(run with flow tracing enabled to get s/t/f lineage)")
+        return
+    triples = ids["s"] & ids["t"] & ids["f"]
+    print("\n== flow summary ==")
+    print("sent (s): %d   applied (t): %d   consumed (f): %d   "
+          "complete s->t->f triples: %d" %
+          (len(ids["s"]), len(ids["t"]), len(ids["f"]), len(triples)))
+    lost = ids["s"] - ids["t"]
+    unconsumed = ids["t"] - ids["f"]
+    if lost:
+        print("never applied: %d (dead receiver or overwritten in flight)" % len(lost))
+    if unconsumed:
+        print("applied but never folded: %d (overwritten before gather)" % len(unconsumed))
+    lat = sorted(apply_ts[i] - send_ts[i] for i in ids["s"] & ids["t"])
+    if lat:
+        def q(p):
+            return lat[min(len(lat) - 1, int(p * len(lat)))]
+        print("send->apply latency: p50=%s p90=%s p99=%s max=%s" %
+              (fmt_ns(q(0.5) * 1e3), fmt_ns(q(0.9) * 1e3),
+               fmt_ns(q(0.99) * 1e3), fmt_ns(lat[-1] * 1e3)))
+
+
+def extract_edges(counters, histograms):
+    edges = collections.defaultdict(dict)
+    for name, value in counters.items():
+        m = EDGE_RE.match(name)
+        if m:
+            edges[(int(m.group(1)), int(m.group(2)))][m.group(3)] = value
+    for name, h in histograms.items():
+        m = EDGE_RE.match(name)
+        if m:
+            edges[(int(m.group(1)), int(m.group(2)))][m.group(3)] = h
+    return edges
+
+
+def report_edges(edges):
+    if not edges:
+        return
+    rows = []
+    for (src, dst), cells in sorted(edges.items()):
+        delivery = cells.get("delivery_ns") or {}
+        staleness = cells.get("staleness_epochs") or {}
+        rows.append([
+            "%d->%d" % (src, dst),
+            cells.get("msgs", 0),
+            cells.get("bytes", 0),
+            fmt_ns(delivery["p50"]) if "p50" in delivery else "-",
+            fmt_ns(delivery["p99"]) if "p99" in delivery else "-",
+            "%.1f" % staleness["p50"] if "p50" in staleness else "-",
+        ])
+    print("\n== per-edge communication ==")
+    print(table(["edge", "msgs", "bytes", "deliver p50", "deliver p99",
+                 "staleness p50 (epochs)"], rows))
+
+
+def report_stream(path):
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    if not records:
+        print("\n== stream ==\nempty stream file")
+        return {}
+    print("\n== stream timeline (%d samples) ==" % len(records))
+    rows = []
+    for r in records:
+        counters = r.get("counters", {})
+        top = sorted(((v, k) for k, v in counters.items()
+                      if not k.startswith("comm.edge.")), reverse=True)[:3]
+        rows.append([r["seq"], fmt_ns(r["ts_ns"]),
+                     ", ".join("%s+%d" % (k, v) for v, k in top) or "(quiet)"])
+    print(table(["seq", "ts", "top counter deltas"], rows))
+
+    # Cumulative view for the edge table: sum counter deltas, keep the last
+    # absolute histogram snapshot per name.
+    counters = collections.Counter()
+    histograms = {}
+    for r in records:
+        for k, v in r.get("counters", {}).items():
+            counters[k] += v
+        for k, h in r.get("histograms", {}).items():
+            histograms[k] = h
+    dropped = counters.get("telemetry.trace.dropped", 0)
+    if dropped:
+        print("warning: %d trace events dropped during the run" % dropped)
+    return extract_edges(counters, histograms)
+
+
+def report_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    agg = doc.get("aggregate", doc)
+    counters = agg.get("counters", {})
+    histograms = agg.get("histograms", {})
+    return extract_edges(counters, histograms)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--trace", help="Chrome trace JSON (--trace_out)")
+    ap.add_argument("--stream", help="NDJSON metric samples (--metrics_stream)")
+    ap.add_argument("--metrics", help="metrics report JSON (--metrics_out)")
+    args = ap.parse_args()
+    if not (args.trace or args.stream or args.metrics):
+        ap.error("need at least one of --trace / --stream / --metrics")
+
+    if args.trace:
+        events = load_trace(args.trace)
+        print("trace: %d events" % len(events))
+        report_phases(events)
+        report_flows(events)
+
+    edges = {}
+    if args.stream:
+        edges = report_stream(args.stream)
+    if args.metrics:
+        # The metrics report is authoritative (absolute, end-of-run).
+        edges = report_metrics(args.metrics) or edges
+    report_edges(edges)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
