@@ -3,15 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
+
+#include "src/base/mutex.h"
 
 namespace malt {
 
 namespace {
 
 std::atomic<int> g_level{-1};  // -1: not yet initialized from environment
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex;
 
 int InitLevelFromEnv() {
   const char* env = std::getenv("MALT_LOG_LEVEL");
@@ -73,7 +74,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 LogMessage::~LogMessage() {
   stream_ << '\n';
   const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fputs(line.c_str(), stderr);
 }
 
@@ -85,7 +86,7 @@ FatalMessage::~FatalMessage() {
   stream_ << '\n';
   const std::string line = stream_.str();
   {
-    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    MutexLock lock(g_emit_mutex);
     std::fputs(line.c_str(), stderr);
     std::fflush(stderr);
   }

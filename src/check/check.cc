@@ -95,7 +95,7 @@ void ProtocolChecker::ReportViolation(const char* kind, int rank, SimTime now,
                                       std::string detail) {
   violation_count_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(report_mu_);
+    MutexLock lock(report_mu_);
     ++by_kind_[kind];
     if (violations_.size() < kMaxStoredViolations) {
       violations_.push_back(Violation{kind, rank, now, detail});
@@ -121,7 +121,7 @@ void ProtocolChecker::ReportViolation(const char* kind, int rank, SimTime now,
   }
 }
 
-std::mutex& ProtocolChecker::StripeFor(int node, uint32_t rkey, size_t queue) const {
+Mutex& ProtocolChecker::StripeFor(int node, uint32_t rkey, size_t queue) const {
   uint64_t h = static_cast<uint64_t>(node) + 0x9E3779B97F4A7C15ull;
   h = (h ^ rkey) * 0x100000001B3ull;
   h = (h ^ queue) * 0x100000001B3ull;
@@ -160,7 +160,7 @@ void ProtocolChecker::OnSegmentCreate(int node, uint32_t rkey, int segment,
   }
   MALT_CHECK(node >= 0 && node < world_) << "bad node " << node;
   MALT_CHECK(layout.slot_stride > 0 && layout.queue_depth > 0) << "degenerate segment layout";
-  std::unique_lock<std::shared_mutex> lock(reg_mu_);
+  WriterMutexLock lock(reg_mu_);
   auto& per_node = shadows_[static_cast<size_t>(node)];
   if (per_node.size() <= rkey) {
     per_node.resize(static_cast<size_t>(rkey) + 1);
@@ -174,7 +174,8 @@ void ProtocolChecker::OnSegmentCreate(int node, uint32_t rkey, int segment,
   per_node[rkey] = std::move(shadow);
 }
 
-void ProtocolChecker::CommitWrite(ShadowSegment& seg, size_t queue, size_t slot,
+void ProtocolChecker::CommitWrite([[maybe_unused]] int node, [[maybe_unused]] uint32_t rkey,
+                                  ShadowSegment& seg, size_t queue, size_t slot,
                                   const Commit& commit) {
   ShadowSlot& s = seg.slots[queue * static_cast<size_t>(seg.layout.queue_depth) + slot];
   if (s.committed.seq != 0) {
@@ -193,7 +194,7 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
   if (!enabled()) {
     return;
   }
-  std::shared_lock<std::shared_mutex> reg_lock(reg_mu_);
+  ReaderMutexLock reg_lock(reg_mu_);
   ShadowSegment* seg = FindSegmentLocked(dst, rkey);
   if (seg == nullptr) {
     return;  // barrier counters, probe scratch, accumulators: not slot-structured
@@ -215,13 +216,13 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
                           std::to_string(offset) + " is not on a slot boundary");
     }
     if (queue < seg->queues.size()) {
-      std::lock_guard<std::mutex> lock(StripeFor(dst, rkey, queue));
+      MutexLock lock(StripeFor(dst, rkey, queue));
       seg->slots[queue * depth + slot].poisoned = true;
     }
     return;
   }
 
-  std::lock_guard<std::mutex> lock(StripeFor(dst, rkey, queue));
+  MutexLock lock(StripeFor(dst, rkey, queue));
   ShadowSlot& shadow = seg->slots[queue * depth + slot];
   ShadowQueue& q = seg->queues[queue];
   if (phase != ApplyPhase::kSecondHalf) {
@@ -329,7 +330,7 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
 
   switch (phase) {
     case ApplyPhase::kFull:
-      CommitWrite(*seg, queue, slot, commit);
+      CommitWrite(dst, rkey, *seg, queue, slot, commit);
       shadow.pending = commit;
       break;
     case ApplyPhase::kFirstHalf:
@@ -340,7 +341,7 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
       // Only the newest begun write's completion makes the slot consistent;
       // a straggling second half of an older write leaves (or makes) it torn.
       if (shadow.pending.seq == seq_front) {
-        CommitWrite(*seg, queue, slot, commit);
+        CommitWrite(dst, rkey, *seg, queue, slot, commit);
       } else {
         shadow.mid_write = true;
       }
@@ -358,8 +359,9 @@ void ProtocolChecker::OnRemoteWriteApply(int src, int dst, uint32_t rkey, size_t
 // than the history window (accepted, unverifiable). A consumed seq newer
 // than anything the ledger has ever seen begun is a phantom.
 void ProtocolChecker::CheckConsumedConcurrent(ShadowSegment& seg, ShadowSlot& shadow,
-                                              int reader, int sender, size_t slot,
-                                              uint64_t seq_front,
+                                              int reader, [[maybe_unused]] uint32_t rkey,
+                                              [[maybe_unused]] size_t queue, int sender,
+                                              size_t slot, uint64_t seq_front,
                                               std::span<const std::byte> payload,
                                               SimTime now) {
   const size_t depth = static_cast<size_t>(seg.layout.queue_depth);
@@ -410,7 +412,8 @@ void ProtocolChecker::CheckConsumedConcurrent(ShadowSegment& seg, ShadowSlot& sh
 // the ledger, or plausibly missed by scan skew (a write landed after the
 // reader's last visit to that slot). A consistent, committed, never-consumed
 // update that the reader demonstrably saw and stepped over is a lost update.
-void ProtocolChecker::CheckLostUpdates(ShadowSegment& seg, ShadowQueue& q, size_t queue,
+void ProtocolChecker::CheckLostUpdates(ShadowSegment& seg, ShadowQueue& q,
+                                       [[maybe_unused]] uint32_t rkey, size_t queue,
                                        int reader, int sender, uint64_t consumed_seq,
                                        SimTime now) {
   if (consumed_seq <= q.last_consumed_seq + 1) {
@@ -457,7 +460,7 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
   if (!enabled()) {
     return;
   }
-  std::shared_lock<std::shared_mutex> reg_lock(reg_mu_);
+  ReaderMutexLock reg_lock(reg_mu_);
   ShadowSegment* seg = FindSegmentLocked(reader, rkey);
   if (seg == nullptr) {
     return;
@@ -467,7 +470,7 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
   const size_t queue = static_cast<size_t>(queue_pos);
   MALT_CHECK(queue < seg->queues.size() && static_cast<size_t>(slot) < depth)
       << "slot read outside segment geometry";
-  std::lock_guard<std::mutex> lock(StripeFor(reader, rkey, queue));
+  MutexLock lock(StripeFor(reader, rkey, queue));
   ShadowSlot& shadow = seg->slots[queue * depth + static_cast<size_t>(slot)];
   ShadowQueue& q = seg->queues[queue];
   const int sender = seg->layout.senders[queue];
@@ -486,8 +489,8 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
                           "consumed seq " + std::to_string(seq_front) + " from rank " +
                               std::to_string(sender) + " while the slot was poisoned");
         } else {
-          CheckConsumedConcurrent(*seg, shadow, reader, sender, static_cast<size_t>(slot),
-                                  seq_front, payload, now);
+          CheckConsumedConcurrent(*seg, shadow, reader, rkey, queue, sender,
+                                  static_cast<size_t>(slot), seq_front, payload, now);
         }
       } else if (shadow.poisoned || shadow.mid_write) {
         ReportViolation(check::kTornReadEscape, reader, now,
@@ -521,7 +524,7 @@ void ProtocolChecker::OnSlotRead(int reader, uint32_t rkey, int queue_pos, int s
                             std::to_string(sender) + " after iter " +
                             std::to_string(q.last_consumed_iter));
       }
-      CheckLostUpdates(*seg, q, queue, reader, sender, seq_front, now);
+      CheckLostUpdates(*seg, q, rkey, queue, reader, sender, seq_front, now);
       q.last_consumed_seq = std::max(q.last_consumed_seq, seq_front);
       q.last_consumed_iter = std::max(q.last_consumed_iter, static_cast<int64_t>(iter));
       shadow.reader_saw_torn = false;
@@ -577,7 +580,7 @@ void ProtocolChecker::OnBarrierEnter(int rank, uint64_t round, SimTime now) {
     return;
   }
   events_checked_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(barrier_mu_);
+  MutexLock lock(barrier_mu_);
   const size_t r = static_cast<size_t>(rank);
   if (round < entered_round_[r]) {
     ReportViolation(check::kBarrierRegression, rank, now,
@@ -595,7 +598,7 @@ void ProtocolChecker::OnBarrierExit(int rank, uint64_t round, std::span<const in
     return;
   }
   events_checked_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(barrier_mu_);
+  MutexLock lock(barrier_mu_);
   const size_t r = static_cast<size_t>(rank);
   for (int member : members) {
     if (member == rank || finished_[static_cast<size_t>(member)]) {
@@ -621,7 +624,7 @@ void ProtocolChecker::OnRankFinished(int rank) {
   if (!enabled()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(barrier_mu_);
+  MutexLock lock(barrier_mu_);
   finished_[static_cast<size_t>(rank)] = true;
 }
 
@@ -630,7 +633,7 @@ void ProtocolChecker::OnVolScatter(int rank, int segment, uint32_t iter, SimTime
     return;
   }
   events_checked_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(vol_mu_);
+  MutexLock lock(vol_mu_);
   auto [it, inserted] = vol_stamp_.try_emplace({rank, segment}, iter);
   if (!inserted) {
     if (iter < it->second) {
@@ -647,7 +650,7 @@ void ProtocolChecker::OnSspProceed(int rank, int segment, uint32_t iter,
   if (!enabled() || ssp_bound_ < 0) {
     return;
   }
-  std::shared_lock<std::shared_mutex> reg_lock(reg_mu_);
+  ReaderMutexLock reg_lock(reg_mu_);
   ShadowSegment* seg = FindSegmentByIdLocked(rank, segment);
   if (seg == nullptr) {
     return;
@@ -659,7 +662,7 @@ void ProtocolChecker::OnSspProceed(int rank, int segment, uint32_t iter,
   for (int sender : live_senders) {
     for (size_t queue = 0; queue < seg->layout.senders.size(); ++queue) {
       if (seg->layout.senders[queue] == sender) {
-        std::lock_guard<std::mutex> lock(StripeFor(rank, seg->rkey, queue));
+        MutexLock lock(StripeFor(rank, seg->rkey, queue));
         const int64_t newest = seg->queues[queue].newest_applied_iter;
         min_peer = min_peer == -2 ? newest : std::min(min_peer, newest);
         break;
@@ -679,13 +682,13 @@ const std::vector<uint64_t>& ProtocolChecker::VectorClock(int rank) const {
 }
 
 int64_t ProtocolChecker::CountFor(const std::string& kind) const {
-  std::lock_guard<std::mutex> lock(report_mu_);
+  MutexLock lock(report_mu_);
   const auto it = by_kind_.find(kind);
   return it == by_kind_.end() ? 0 : it->second;
 }
 
 std::string ProtocolChecker::ReportJson() const {
-  std::lock_guard<std::mutex> lock(report_mu_);
+  MutexLock lock(report_mu_);
   std::string out;
   out += "{\"level\":";
   AppendJsonEscaped(&out, ToString(level_));

@@ -54,14 +54,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/base/mutex.h"
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/time_units.h"
 #include "src/telemetry/telemetry.h"
 
@@ -73,7 +73,7 @@ enum class CheckLevel : uint8_t {
   kFull = 2,
 };
 
-Result<CheckLevel> ParseCheckLevel(const std::string& s);
+[[nodiscard]] Result<CheckLevel> ParseCheckLevel(const std::string& s);
 std::string ToString(CheckLevel level);
 
 namespace check {
@@ -214,8 +214,10 @@ class ProtocolChecker {
 
   // Vector clock of `rank` over barrier rounds: entry m is the newest round
   // `rank` knows m to have entered (via barrier joins). Post-run accessor:
-  // do not call while rank threads are still inside barriers.
-  const std::vector<uint64_t>& VectorClock(int rank) const;
+  // do not call while rank threads are still inside barriers — hence the
+  // deliberate analysis hole (returns a reference out of barrier_mu_'s
+  // protection).
+  const std::vector<uint64_t>& VectorClock(int rank) const MALT_NO_THREAD_SAFETY_ANALYSIS;
 
   // Manual report (used by auxiliary validators and fault-injection tests).
   void ReportViolation(const char* kind, int rank, SimTime now, std::string detail);
@@ -236,12 +238,15 @@ class ProtocolChecker {
   }
   int64_t CountFor(const std::string& kind) const;
   // Capped sample of violations (first kMaxStoredViolations). Post-run
-  // accessor: the returned reference is unguarded.
-  const std::vector<Violation>& violations() const { return violations_; }
+  // accessor: the returned reference is unguarded, a deliberate analysis
+  // hole — callers read it only after traffic has stopped.
+  const std::vector<Violation>& violations() const MALT_NO_THREAD_SAFETY_ANALYSIS {
+    return violations_;
+  }
 
   // {"level":...,"events":N,"violations":N,"by_kind":{...},"samples":[...]}
   std::string ReportJson() const;
-  Status WriteReportJson(const std::string& path) const;
+  [[nodiscard]] Status WriteReportJson(const std::string& path) const;
 
  private:
   // One committed slot generation: what a consistent read of the slot at
@@ -299,18 +304,25 @@ class ProtocolChecker {
   // queues hash to mostly distinct stripes and proceed in parallel.
   static constexpr size_t kLedgerStripes = 64;
 
-  std::mutex& StripeFor(int node, uint32_t rkey, size_t queue) const;
+  Mutex& StripeFor(int node, uint32_t rkey, size_t queue) const;
 
   // Callers hold reg_mu_ (shared).
-  ShadowSegment* FindSegmentLocked(int node, uint32_t rkey) const;
-  ShadowSegment* FindSegmentByIdLocked(int node, int segment) const;
-  // Callers hold the queue's stripe mutex.
-  void CommitWrite(ShadowSegment& seg, size_t queue, size_t slot, const Commit& commit);
-  void CheckConsumedConcurrent(ShadowSegment& seg, ShadowSlot& shadow, int reader, int sender,
-                               size_t slot, uint64_t seq_front,
-                               std::span<const std::byte> payload, SimTime now);
-  void CheckLostUpdates(ShadowSegment& seg, ShadowQueue& q, size_t queue, int reader,
-                        int sender, uint64_t consumed_seq, SimTime now);
+  ShadowSegment* FindSegmentLocked(int node, uint32_t rkey) const MALT_REQUIRES_SHARED(reg_mu_);
+  ShadowSegment* FindSegmentByIdLocked(int node, int segment) const
+      MALT_REQUIRES_SHARED(reg_mu_);
+  // Callers hold the queue's stripe mutex. The (node, rkey, queue) stripe key
+  // is threaded through explicitly so the REQUIRES expression names the same
+  // StripeFor(...) call the lock site used — that textual match is how the
+  // analysis ties the held stripe to the precondition.
+  void CommitWrite(int node, uint32_t rkey, ShadowSegment& seg, size_t queue, size_t slot,
+                   const Commit& commit) MALT_REQUIRES(StripeFor(node, rkey, queue));
+  void CheckConsumedConcurrent(ShadowSegment& seg, ShadowSlot& shadow, int reader,
+                               uint32_t rkey, size_t queue, int sender, size_t slot,
+                               uint64_t seq_front, std::span<const std::byte> payload,
+                               SimTime now) MALT_REQUIRES(StripeFor(reader, rkey, queue));
+  void CheckLostUpdates(ShadowSegment& seg, ShadowQueue& q, uint32_t rkey, size_t queue,
+                        int reader, int sender, uint64_t consumed_seq, SimTime now)
+      MALT_REQUIRES(StripeFor(reader, rkey, queue));
 
   CheckLevel level_;
   int world_;
@@ -327,32 +339,34 @@ class ProtocolChecker {
   };
   std::vector<RankCounters> rank_counters_;
 
-  // Registration (rare, before traffic) vs lookup (hot): a shared_mutex
-  // keeps lookups concurrent. ShadowSegments are held by unique_ptr so
-  // pointers stay stable across registrations.
-  mutable std::shared_mutex reg_mu_;
+  // Registration (rare, before traffic) vs lookup (hot): a reader/writer
+  // lock keeps lookups concurrent. ShadowSegments are held by unique_ptr so
+  // pointers stay stable across registrations. Per-slot/queue ledger state
+  // reached through a ShadowSegment* is guarded by the queue's stripe (the
+  // REQUIRES annotations above), not by reg_mu_.
+  mutable SharedMutex reg_mu_;
   // [node][rkey] -> shadow (null for unregistered rkeys).
-  std::vector<std::vector<std::unique_ptr<ShadowSegment>>> shadows_;
+  std::vector<std::vector<std::unique_ptr<ShadowSegment>>> shadows_ MALT_GUARDED_BY(reg_mu_);
 
-  mutable std::array<std::mutex, kLedgerStripes> ledger_mu_;
+  mutable std::array<Mutex, kLedgerStripes> ledger_mu_;
 
   // Barrier tracking (one mutex: barrier entry/exit is not a hot path).
-  mutable std::mutex barrier_mu_;
-  std::vector<uint64_t> entered_round_;
-  std::vector<uint64_t> exited_round_;
-  std::vector<bool> finished_;
-  std::vector<std::vector<uint64_t>> vclock_;  // [rank][rank]
+  mutable Mutex barrier_mu_;
+  std::vector<uint64_t> entered_round_ MALT_GUARDED_BY(barrier_mu_);
+  std::vector<uint64_t> exited_round_ MALT_GUARDED_BY(barrier_mu_);
+  std::vector<bool> finished_ MALT_GUARDED_BY(barrier_mu_);
+  std::vector<std::vector<uint64_t>> vclock_ MALT_GUARDED_BY(barrier_mu_);  // [rank][rank]
 
   // VOL scatter stamps: (rank, segment) -> last outgoing stamp.
-  std::mutex vol_mu_;
-  std::map<std::pair<int, int>, uint32_t> vol_stamp_;
+  Mutex vol_mu_;
+  std::map<std::pair<int, int>, uint32_t> vol_stamp_ MALT_GUARDED_BY(vol_mu_);
 
   std::atomic<int64_t> events_checked_{0};
   std::atomic<int64_t> violation_count_{0};
   std::atomic<int64_t> lost_updates_{0};
-  mutable std::mutex report_mu_;  // guards by_kind_ + violations_
-  std::map<std::string, int64_t> by_kind_;
-  std::vector<Violation> violations_;
+  mutable Mutex report_mu_;
+  std::map<std::string, int64_t> by_kind_ MALT_GUARDED_BY(report_mu_);
+  std::vector<Violation> violations_ MALT_GUARDED_BY(report_mu_);
 };
 
 // Validates the call discipline of one SeqLock (src/base/seqlock.h) from an

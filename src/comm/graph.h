@@ -72,7 +72,7 @@ Graph ParameterServerGraph(int n, int server);
 Graph RandomRegularGraph(int n, int k, uint64_t seed);
 
 // Parses "src>dst,src>dst,..." (developer-specified arbitrary dataflow).
-Result<Graph> GraphFromSpec(int n, const std::string& spec);
+[[nodiscard]] Result<Graph> GraphFromSpec(int n, const std::string& spec);
 
 // --- Halton sequence ---------------------------------------------------------
 

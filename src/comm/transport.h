@@ -39,7 +39,7 @@ enum class TransportKind : uint8_t {
   kShmem = 1,  // shared memory, concurrent threads, wall-clock time
 };
 
-Result<TransportKind> ParseTransportKind(const std::string& s);
+[[nodiscard]] Result<TransportKind> ParseTransportKind(const std::string& s);
 std::string ToString(TransportKind kind);
 
 enum class WcStatus : uint8_t {
@@ -151,7 +151,7 @@ class Transport {
   // the region's owner; no network). Returns false when a concurrent remote
   // write was detected mid-read — the caller treats the range as torn and
   // retries or skips. The simulator always returns true.
-  virtual bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const = 0;
+  [[nodiscard]] virtual bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const = 0;
 
   // Stores `data` into the region locally (the owner updating its own
   // segment, e.g. its barrier counter slot), with the same guard/atomicity
@@ -164,10 +164,10 @@ class Transport {
   // arguments are invalid. The payload is snapshotted immediately; a
   // completion appears on `src`'s CQ. `trace` carries the update's lineage
   // context (see WireTrace); the 5-argument overload posts untraced.
-  virtual Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+  [[nodiscard]] virtual Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                                      std::span<const std::byte> data,
                                      const WireTrace& trace) = 0;
-  Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+  [[nodiscard]] Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                              std::span<const std::byte> data) {
     return PostWrite(src, now, dst_mr, dst_offset, data, WireTrace{});
   }
@@ -176,7 +176,7 @@ class Transport {
   // to the destination floats in place — the fetch_and_add aggregation the
   // paper's conclusion proposes doing in hardware. Same queueing/completion
   // semantics as PostWrite. The destination range must be float-aligned.
-  virtual Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+  [[nodiscard]] virtual Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                                         std::span<const float> values) = 0;
 
   // Atomically drains an accumulator region laid out as out.size() sum
@@ -203,7 +203,7 @@ class Transport {
   // Partition injection: when false, writes between a and b fail (both
   // ways). The simulated fabric models this; backends without a network to
   // partition (shmem) return a FailedPrecondition error instead.
-  virtual Status SetReachable(int a, int b, bool reachable) = 0;
+  [[nodiscard]] virtual Status SetReachable(int a, int b, bool reachable) = 0;
   virtual bool Reachable(int a, int b) const = 0;
 };
 

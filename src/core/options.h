@@ -33,8 +33,8 @@ enum class GraphKind : uint8_t {
   kCustom = 5,     // user-supplied edge spec
 };
 
-Result<SyncMode> ParseSyncMode(const std::string& s);
-Result<GraphKind> ParseGraphKind(const std::string& s);
+[[nodiscard]] Result<SyncMode> ParseSyncMode(const std::string& s);
+[[nodiscard]] Result<GraphKind> ParseGraphKind(const std::string& s);
 std::string ToString(SyncMode mode);
 std::string ToString(GraphKind kind);
 

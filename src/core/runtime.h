@@ -96,7 +96,7 @@ class Worker {
 
   // Fault-aware barrier: on timeout, runs a health check, removes dead peers
   // and re-arms. Returns a non-OK status only on unrecoverable errors.
-  Status Barrier();
+  [[nodiscard]] Status Barrier();
 
   // This replica's contiguous shard of [0, total), computed over the current
   // survivor group (data of failed replicas is redistributed, §3.3).

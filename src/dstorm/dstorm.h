@@ -30,11 +30,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "src/base/mutex.h"
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/time_units.h"
 #include "src/comm/graph.h"
 #include "src/comm/transport.h"
@@ -122,11 +123,11 @@ class Dstorm {
   // per receiver. Applies back-pressure when the NIC send queue is full.
   // Dead peers discovered through error completions are recorded (see
   // TakeFailedPeers) and skipped on subsequent scatters.
-  Status Scatter(SegmentId seg, std::span<const std::byte> payload, uint32_t iter);
+  [[nodiscard]] Status Scatter(SegmentId seg, std::span<const std::byte> payload, uint32_t iter);
 
   // As Scatter, but to an explicit subset of the out-neighbors — the paper's
   // fine-grained per-call dataflow control (§3.2).
-  Status ScatterTo(SegmentId seg, std::span<const int> dsts, std::span<const std::byte> payload,
+  [[nodiscard]] Status ScatterTo(SegmentId seg, std::span<const int> dsts, std::span<const std::byte> payload,
                    uint32_t iter);
 
   // Applies `consume` to every fresh consistent object in this node's
@@ -150,7 +151,7 @@ class Dstorm {
 
   // Blocks until all of this node's outstanding writes have completed,
   // harvesting error completions.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   // Distributed barrier among current group members. Returns
   // kDeadlineExceeded if a member failed to arrive within `timeout`
@@ -181,7 +182,7 @@ class Dstorm {
 
   // Adds `values` (exactly `dim` floats) into every live out-neighbor's
   // accumulator, one one-sided accumulating write per receiver.
-  Status ScatterAdd(SegmentId seg, std::span<const float> values);
+  [[nodiscard]] Status ScatterAdd(SegmentId seg, std::span<const float> values);
 
   // Copies this node's accumulated sum into `out` (dim floats), zeroes the
   // accumulator, and returns the number of contributions folded since the
@@ -232,7 +233,7 @@ class Dstorm {
   Dstorm(DstormDomain* domain, Transport* transport, int rank, int world,
          RankTelemetry* telemetry);
 
-  Status PostObject(SegmentId seg, int dst, std::span<const std::byte> payload, uint32_t iter);
+  [[nodiscard]] Status PostObject(SegmentId seg, int dst, std::span<const std::byte> payload, uint32_t iter);
   void DrainCompletions();
   size_t SlotOffset(const Segment& s, int sender_pos, int slot) const;
   // Blocks until the NIC send queue has room, charging the stall and its
@@ -275,8 +276,9 @@ class Dstorm {
 
   // deque, not vector: the first creator of a later segment appends to this
   // list from its own thread while this rank may hold a reference to an
-  // earlier element (see GetSegment).
-  std::deque<Segment> segments_;
+  // earlier element (see GetSegment). Guarded by the domain mutex; element
+  // references stay valid unlocked (deque never relocates).
+  std::deque<Segment> segments_ MALT_GUARDED_BY(domain_->mu_);
   int created_count_ = 0;  // segments this node has itself created
   std::vector<bool> group_member_;
   int64_t group_epoch_ = 0;
@@ -324,9 +326,9 @@ class DstormDomain {
   // Serializes collective segment creation across rank threads (spec
   // registry, cross-node segments_ appends); also taken (briefly) by
   // GetSegment.
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Dstorm>> nodes_;
-  std::vector<SegmentSpec> specs_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Dstorm>> nodes_;  // fixed at construction
+  std::vector<SegmentSpec> specs_ MALT_GUARDED_BY(mu_);
 };
 
 }  // namespace malt

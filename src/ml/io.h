@@ -19,18 +19,18 @@ namespace malt {
 
 // Parses one LIBSVM line into `out`. Returns false for blank/comment lines
 // (out untouched); error status for malformed input.
-Result<bool> ParseLibsvmLine(const std::string& line, SparseExample* out);
+[[nodiscard]] Result<bool> ParseLibsvmLine(const std::string& line, SparseExample* out);
 
 // Loads a LIBSVM file. dim is grown to fit the largest index seen; labels
 // are mapped to ±1 (0/1 and ±1 conventions both accepted).
-Result<SparseDataset> LoadLibsvm(const std::string& path);
+[[nodiscard]] Result<SparseDataset> LoadLibsvm(const std::string& path);
 
 // Loads train and test files into one dataset.
-Result<SparseDataset> LoadLibsvm(const std::string& train_path, const std::string& test_path);
+[[nodiscard]] Result<SparseDataset> LoadLibsvm(const std::string& train_path, const std::string& test_path);
 
 // Writes examples in LIBSVM format (1-based indices). Round-trips with
 // LoadLibsvm up to float formatting.
-Status SaveLibsvm(const SparseDataset& data, const std::string& train_path,
+[[nodiscard]] Status SaveLibsvm(const SparseDataset& data, const std::string& train_path,
                   const std::string& test_path);
 
 }  // namespace malt

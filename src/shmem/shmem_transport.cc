@@ -1,7 +1,6 @@
 #include "src/shmem/shmem_transport.h"
 
 #include <bit>
-#include <mutex>
 
 #include "src/base/log.h"
 
@@ -142,7 +141,7 @@ void ShmemTransport::AccountPost(int src, int dst, size_t bytes, bool float_add)
 
 MrHandle ShmemTransport::RegisterMemory(int node, size_t bytes, size_t guard_stripe_bytes) {
   MALT_CHECK(node >= 0 && node < nodes_) << "bad node " << node;
-  std::unique_lock<std::shared_mutex> lock(region_mu_);
+  WriterMutexLock lock(region_mu_);
   auto& list = regions_[static_cast<size_t>(node)];
   list.push_back(std::make_unique<Region>(bytes, guard_stripe_bytes));
   return MrHandle{node, static_cast<uint32_t>(list.size() - 1)};
@@ -158,7 +157,7 @@ ShmemTransport::Region* ShmemTransport::FindRegion(MrHandle mr) const {
   if (!mr.valid() || mr.node >= nodes_) {
     return nullptr;
   }
-  std::shared_lock<std::shared_mutex> lock(region_mu_);
+  ReaderMutexLock lock(region_mu_);
   const auto& list = regions_[static_cast<size_t>(mr.node)];
   if (mr.rkey >= list.size()) {
     return nullptr;
@@ -396,7 +395,7 @@ void ShmemTransport::MarkDead(int node) {
   MALT_CHECK(node >= 0 && node < nodes_) << "bad node " << node;
   alive_[static_cast<size_t>(node)].store(false, std::memory_order_release);
   // The HCA is gone: the dead node's regions stop accepting remote writes.
-  std::shared_lock<std::shared_mutex> lock(region_mu_);
+  ReaderMutexLock lock(region_mu_);
   for (const auto& region : regions_[static_cast<size_t>(node)]) {
     if (region != nullptr) {
       region->registered.store(false, std::memory_order_release);

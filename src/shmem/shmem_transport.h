@@ -42,11 +42,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <vector>
 
+#include "src/base/mutex.h"
 #include "src/base/seqlock.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/status.h"
 #include "src/base/time_units.h"
 #include "src/check/check.h"
@@ -109,17 +110,17 @@ class ShmemTransport : public Transport {
   void DeregisterMemory(MrHandle mr) override;
   std::span<std::byte> Data(MrHandle mr) override;
 
-  bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const override;
+  [[nodiscard]] bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const override;
   void Write(MrHandle mr, size_t offset, std::span<const std::byte> data) override;
 
   // When `trace` is enabled, the inline apply emits the receiver-side apply
   // slice + 't' flow event (into the *sender's* ring tagged with the
   // receiver's export track, keeping every ring single-writer) and observes
   // the wall-clock delivery latency on the (src→dst) edge.
-  Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+  [[nodiscard]] Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                              std::span<const std::byte> data, const WireTrace& trace) override;
   using Transport::PostWrite;
-  Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+  [[nodiscard]] Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                                 std::span<const float> values) override;
   int64_t DrainFloatRegion(MrHandle mr, std::span<float> out) override;
 
@@ -139,7 +140,7 @@ class ShmemTransport : public Transport {
   }
 
   // Partition injection needs a network to partition; fails cleanly here.
-  Status SetReachable(int a, int b, bool reachable) override;
+  [[nodiscard]] Status SetReachable(int a, int b, bool reachable) override;
   bool Reachable(int a, int b) const override;
 
   // Fail-stop: marks `node` dead. Subsequent writes to it complete with
@@ -205,10 +206,13 @@ class ShmemTransport : public Transport {
   TrafficStats stats_;
 
   // Registration is rare (collective segment creation before training) and
-  // lookup is hot; a shared_mutex keeps lookups concurrent. Regions are held
-  // by unique_ptr so pointers stay stable across registrations.
-  mutable std::shared_mutex region_mu_;
-  std::vector<std::vector<std::unique_ptr<Region>>> regions_;  // [node][rkey]
+  // lookup is hot; a reader/writer lock keeps lookups concurrent. Regions are
+  // held by unique_ptr so pointers stay stable across registrations — a
+  // Region* obtained under the lock stays valid after release (its seqlock
+  // guards and atomic flags carry the per-slot protection from there).
+  mutable SharedMutex region_mu_;
+  std::vector<std::vector<std::unique_ptr<Region>>> regions_
+      MALT_GUARDED_BY(region_mu_);  // [node][rkey]
 
   std::deque<CompletionRing> cq_;          // [node]; deque: ring is immovable
   std::vector<uint64_t> next_wr_id_;       // [node]; only node's thread posts

@@ -86,13 +86,19 @@ void Engine::ScheduleKill(int pid, SimTime when) {
   // Validated at fire time: kills are routinely scheduled before processes
   // are registered (test setup, experiment scripts).
   ScheduleEvent(when, [this, pid] {
+    // Event callbacks run under the scheduler with mu_ held (ApplyEvent);
+    // the analysis cannot see that through the std::function indirection.
+    mu_.AssertHeld();
     MALT_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size())) << "bad pid " << pid;
     KillProcess(*procs_[static_cast<size_t>(pid)]);
   });
 }
 
 void Engine::ScheduleEvent(SimTime when, std::function<void()> fn) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Deliberately reentrant (event callbacks call this with mu_ held); the
+  // recursive mutex makes that safe at runtime, and keeping this function
+  // free of REQUIRES keeps the unsupported-by-analysis reentrancy local.
+  RecursiveMutexLock lock(mu_);
   events_.push(Event{when, next_event_seq_++, std::move(fn)});
 }
 
@@ -101,18 +107,18 @@ void Engine::AddKillHook(std::function<void(int pid)> hook) {
 }
 
 bool Engine::alive(int pid) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const ProcState s = procs_[static_cast<size_t>(pid)]->state_;
   return s != ProcState::kKilled;
 }
 
 ProcState Engine::state(int pid) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return procs_[static_cast<size_t>(pid)]->state_;
 }
 
 void Engine::YieldFromProcess(Process& p, ProcState new_state) {
-  std::unique_lock<std::recursive_mutex> lock(mu_);
+  UniqueLock lock(mu_);
   p.state_ = new_state;
   scheduler_cv_.notify_all();
   p.cv_.wait(lock, [&p] { return p.state_ == ProcState::kRunning; });
@@ -157,7 +163,7 @@ void Engine::ReevaluateBlocked(SimTime wake_time) {
   }
 }
 
-void Engine::ApplyEvent(std::unique_lock<std::recursive_mutex>& lock, Event event) {
+void Engine::ApplyEvent(UniqueLock& lock, Event event) {
   (void)lock;
   // now() is the time of the current dispatch. It is not globally monotonic
   // across dispatches (a coarse process slice may already have run past this
@@ -174,7 +180,7 @@ void Engine::ApplyEvent(std::unique_lock<std::recursive_mutex>& lock, Event even
   ReevaluateBlocked(event.when);
 }
 
-void Engine::RunProcessSlice(std::unique_lock<std::recursive_mutex>& lock, Process& p) {
+void Engine::RunProcessSlice(UniqueLock& lock, Process& p) {
   current_time_ = p.clock_;
   if (trace_enabled_) {
     trace_.push_back("P" + std::to_string(p.pid_) + "@" + std::to_string(p.clock_));
@@ -240,7 +246,7 @@ void Engine::ReportDeadlock() {
 }
 
 void Engine::Run() {
-  std::unique_lock<std::recursive_mutex> lock(mu_);
+  UniqueLock lock(mu_);
   MALT_CHECK(!running_) << "Engine::Run called twice";
   running_ = true;
 
@@ -248,7 +254,7 @@ void Engine::Run() {
     Process* p = proc.get();
     p->thread_ = std::thread([this, p] {
       {
-        std::unique_lock<std::recursive_mutex> thread_lock(mu_);
+        UniqueLock thread_lock(mu_);
         p->cv_.wait(thread_lock, [p] { return p->state_ == ProcState::kRunning; });
       }
       bool killed = false;
@@ -259,7 +265,7 @@ void Engine::Run() {
         killed = true;
       }
       {
-        std::lock_guard<std::recursive_mutex> thread_lock(mu_);
+        RecursiveMutexLock thread_lock(mu_);
         p->state_ = (killed || p->kill_pending_) ? ProcState::kKilled : ProcState::kDone;
         scheduler_cv_.notify_all();
       }

@@ -29,13 +29,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/base/mutex.h"
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/time_units.h"
 
 namespace malt {
@@ -158,7 +159,7 @@ class Engine {
   // for applied network events. Virtual nanoseconds map to microseconds in
   // the trace (the viewer's native unit).
   void EnableScheduleCapture() { capture_enabled_ = true; }
-  Status WriteChromeTrace(const std::string& path) const;
+  [[nodiscard]] Status WriteChromeTrace(const std::string& path) const;
 
  private:
   friend class Process;
@@ -175,11 +176,12 @@ class Engine {
   // Called from process threads (with mu_ held inside).
   void YieldFromProcess(Process& p, ProcState new_state);
 
-  // Scheduler internals (mu_ held).
-  void ApplyEvent(std::unique_lock<std::recursive_mutex>& lock, Event event);
-  void RunProcessSlice(std::unique_lock<std::recursive_mutex>& lock, Process& p);
-  void ReevaluateBlocked(SimTime wake_time);
-  void KillProcess(Process& p);
+  // Scheduler internals (mu_ held; the UniqueLock reference is what the
+  // condition waits relock).
+  void ApplyEvent(UniqueLock& lock, Event event) MALT_REQUIRES(mu_);
+  void RunProcessSlice(UniqueLock& lock, Process& p) MALT_REQUIRES(mu_);
+  void ReevaluateBlocked(SimTime wake_time) MALT_REQUIRES(mu_);
+  void KillProcess(Process& p) MALT_REQUIRES(mu_);
   [[noreturn]] void ReportDeadlock();
 
   // Recursive: event callbacks (run with the lock held) may ScheduleEvent().
@@ -189,11 +191,19 @@ class Engine {
     SimTime end;
   };
 
-  mutable std::recursive_mutex mu_;
+  // Recursive (see the Slice comment above): event callbacks run with the
+  // lock held and may re-enter ScheduleEvent. The clang analysis does not
+  // model reentrancy, so ScheduleEvent stays annotation-opaque (no REQUIRES)
+  // and its inner acquisition is invisible to callers' lock sets.
+  mutable RecursiveMutex mu_;
   std::condition_variable_any scheduler_cv_;
+  // procs_ is append-only before Run(); Process's scheduler-owned fields are
+  // protected by the baton-handoff protocol (one runnable thread at a time),
+  // which the analysis cannot express — see DESIGN.md §9.
   std::vector<std::unique_ptr<Process>> procs_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
-  uint64_t next_event_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_
+      MALT_GUARDED_BY(mu_);
+  uint64_t next_event_seq_ MALT_GUARDED_BY(mu_) = 0;
   std::vector<std::function<void(int)>> kill_hooks_;
   SimTime current_time_ = 0;
   bool running_ = false;

@@ -97,7 +97,7 @@ class Fabric : public Transport {
 
   // Local consistent read/write: plain memcpy — events are serialized by the
   // engine, so a local access can never race a remote apply.
-  bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const override;
+  [[nodiscard]] bool Read(MrHandle mr, size_t offset, std::span<std::byte> out) const override;
   void Write(MrHandle mr, size_t offset, std::span<const std::byte> data) override;
 
   // Posts a one-sided RDMA write of `data` into `dst_mr` at `dst_offset`,
@@ -107,7 +107,7 @@ class Fabric : public Transport {
   // `trace` is enabled, the arrival event emits the receiver-side apply
   // slice + 't' flow event and observes the virtual delivery latency on the
   // (src→dst) edge.
-  Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+  [[nodiscard]] Result<uint64_t> PostWrite(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                              std::span<const std::byte> data, const WireTrace& trace) override;
   using Transport::PostWrite;
 
@@ -116,7 +116,7 @@ class Fabric : public Transport {
   // aggregation the paper's conclusion proposes doing "in hardware" to cut
   // gradient-averaging CPU cost. Same queueing/completion semantics as
   // PostWrite. The destination range must be float-aligned.
-  Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
+  [[nodiscard]] Result<uint64_t> PostFloatAdd(int src, SimTime now, MrHandle dst_mr, size_t dst_offset,
                                 std::span<const float> values) override;
 
   // Drains an accumulator region (sums + trailing count float); see
@@ -139,7 +139,7 @@ class Fabric : public Transport {
   bool NodeAlive(int node) const override { return alive_[static_cast<size_t>(node)]; }
 
   // Partition injection: when false, writes between a and b fail (both ways).
-  Status SetReachable(int a, int b, bool reachable) override;
+  [[nodiscard]] Status SetReachable(int a, int b, bool reachable) override;
   bool Reachable(int a, int b) const override;
 
  private:

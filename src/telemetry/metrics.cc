@@ -96,10 +96,10 @@ double HistogramMetric::Percentile(double p) const {
   return max();
 }
 
-MetricRegistry::MetricRegistry() : mu_(std::make_unique<std::mutex>()) {}
+MetricRegistry::MetricRegistry() : mu_(std::make_unique<Mutex>()) {}
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -108,7 +108,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -118,7 +118,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 
 HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
                                               HistogramMetric::Options options) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<HistogramMetric>(options);
@@ -127,19 +127,19 @@ HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 int64_t MetricRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 double MetricRegistry::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
 const HistogramMetric* MetricRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -152,7 +152,7 @@ void MetricRegistry::Merge(const MetricRegistry& other) {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, const HistogramMetric*>> histograms;
   {
-    std::lock_guard<std::mutex> lock(*other.mu_);
+    MutexLock lock(*other.mu_);
     counters.reserve(other.counters_.size());
     for (const auto& [name, counter] : other.counters_) {
       counters.emplace_back(name, counter->value());
@@ -180,7 +180,7 @@ void MetricRegistry::Merge(const MetricRegistry& other) {
 
 void MetricRegistry::ForEachCounter(
     const std::function<void(const std::string&, int64_t)>& fn) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   for (const auto& [name, counter] : counters_) {
     fn(name, counter->value());
   }
@@ -188,7 +188,7 @@ void MetricRegistry::ForEachCounter(
 
 void MetricRegistry::ForEachGauge(
     const std::function<void(const std::string&, double)>& fn) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   for (const auto& [name, gauge] : gauges_) {
     fn(name, gauge->value());
   }
@@ -196,14 +196,14 @@ void MetricRegistry::ForEachGauge(
 
 void MetricRegistry::ForEachHistogram(
     const std::function<void(const std::string&, const HistogramMetric&)>& fn) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   for (const auto& [name, histogram] : histograms_) {
     fn(name, *histogram);
   }
 }
 
 size_t MetricRegistry::size() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
@@ -257,7 +257,7 @@ void AppendJsonNumber(std::string* out, double v) {
 }
 
 void MetricRegistry::AppendJson(std::string* out) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   out->append("{\"counters\":{");
   bool first = true;
   for (const auto& [name, counter] : counters_) {

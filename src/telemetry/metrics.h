@@ -27,9 +27,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 
 namespace malt {
 
@@ -142,11 +144,12 @@ class MetricRegistry {
   std::string ToJson() const;
 
  private:
-  // Heap-allocated so the registry stays movable (Merged() returns by value).
-  mutable std::unique_ptr<std::mutex> mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  // Heap-allocated so the registry stays movable (Merged() returns by value);
+  // the capability expression dereferences through the unique_ptr.
+  mutable std::unique_ptr<Mutex> mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ MALT_GUARDED_BY(*mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MALT_GUARDED_BY(*mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_ MALT_GUARDED_BY(*mu_);
 };
 
 // Per-(src→dst) communication-edge metric names, e.g.

@@ -58,11 +58,11 @@ class TelemetryDomain {
 
   // {"ranks":N,"aggregate":{...},"per_rank":[{...},...]}
   std::string MetricsJson() const;
-  Status WriteMetricsJson(const std::string& path) const;
+  [[nodiscard]] Status WriteMetricsJson(const std::string& path) const;
 
   // All ranks' trace rings as one Chrome trace_event JSON (tid = rank).
   std::string TraceJson() const;
-  Status WriteChromeTrace(const std::string& path) const;
+  [[nodiscard]] Status WriteChromeTrace(const std::string& path) const;
 
   // Total events overwritten across all rings (0 means the export is
   // complete; nonzero means only the newest window per rank survived).

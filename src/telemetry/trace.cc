@@ -22,28 +22,28 @@ void TraceRing::EmitLocked(const TraceEvent& event) {
 }
 
 void TraceRing::Emit(const TraceEvent& event) {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   EmitLocked(event);
 }
 
 void TraceRing::EmitPair(const TraceEvent& first, const TraceEvent& second) {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   EmitLocked(first);
   EmitLocked(second);
 }
 
 size_t TraceRing::capacity() const {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   return buf_.size();
 }
 
 size_t TraceRing::size() const {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   return size_;
 }
 
 void TraceRing::ForEach(const std::function<void(const TraceEvent&)>& fn) const {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   const size_t oldest = (next_ + buf_.size() - size_) % buf_.size();
   for (size_t i = 0; i < size_; ++i) {
     fn(buf_[(oldest + i) % buf_.size()]);
@@ -57,7 +57,7 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   next_ = 0;
   size_ = 0;
   dropped_.store(0, std::memory_order_relaxed);

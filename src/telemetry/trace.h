@@ -32,11 +32,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/base/mutex.h"
 #include "src/base/status.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/time_units.h"
 
 namespace malt {
@@ -113,32 +114,16 @@ class TraceRing {
   void Clear();
 
  private:
-  // Tiny test-and-set spinlock. The shmem hot path takes this lock several
-  // times per traced one-sided write, from multiple sender threads into one
-  // receiver ring; the critical section is a few stores, so spinning beats a
-  // futex mutex's contended slow path by a wide margin (and keeps the
-  // tracing overhead within the bench's <5% budget).
-  class SpinLock {
-   public:
-    void lock() {
-      while (flag_.test_and_set(std::memory_order_acquire)) {
-#if defined(__x86_64__) || defined(__i386__)
-        __builtin_ia32_pause();
-#endif
-      }
-    }
-    void unlock() { flag_.clear(std::memory_order_release); }
+  void EmitLocked(const TraceEvent& event) MALT_REQUIRES(mu_);
 
-   private:
-    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
-  };
-
-  void EmitLocked(const TraceEvent& event);
-
+  // malt::SpinLock (annotated; see src/base/mutex.h for why a spinlock): the
+  // shmem hot path takes this lock several times per traced one-sided write,
+  // from multiple sender threads into one receiver ring, and the critical
+  // section is a few stores.
   mutable SpinLock mu_;
-  std::vector<TraceEvent> buf_;
-  size_t next_ = 0;  // slot the next emit writes
-  size_t size_ = 0;
+  std::vector<TraceEvent> buf_ MALT_GUARDED_BY(mu_);
+  size_t next_ MALT_GUARDED_BY(mu_) = 0;  // slot the next emit writes
+  size_t size_ MALT_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> dropped_{0};
 };
 
@@ -148,7 +133,7 @@ class TraceRing {
 // additionally carry {"cat","id"} and bind to their enclosing slice
 // ("bp":"e").
 void AppendChromeTrace(std::string* out, const std::vector<const TraceRing*>& rings);
-Status WriteChromeTrace(const std::string& path, const std::vector<const TraceRing*>& rings);
+[[nodiscard]] Status WriteChromeTrace(const std::string& path, const std::vector<const TraceRing*>& rings);
 
 }  // namespace malt
 

@@ -34,7 +34,7 @@ class GradientAccumulator {
   size_t dim() const { return dim_; }
 
   // Adds `values` (dim floats) into every live out-neighbor's accumulator.
-  Status ScatterAdd(std::span<const float> values) {
+  [[nodiscard]] Status ScatterAdd(std::span<const float> values) {
     return dstorm_.ScatterAdd(segment_, values);
   }
 

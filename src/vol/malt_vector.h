@@ -83,13 +83,13 @@ class MaltVector {
   // --- Table 1 API -----------------------------------------------------------
 
   // Pushes the local vector along the dataflow graph (g.scatter()).
-  Status Scatter();
+  [[nodiscard]] Status Scatter();
   // Pushes to an explicit destination subset (fine-grained dataflow).
-  Status ScatterTo(std::span<const int> dsts);
+  [[nodiscard]] Status ScatterTo(std::span<const int> dsts);
   // Sparse vectors only: pushes just the named coordinates (e.g. the factor
   // rows touched during the last batch — the distributed-Hogwild pattern).
   // `indices` need not be sorted; duplicates are sent as-is.
-  Status ScatterIndices(std::span<const uint32_t> indices);
+  [[nodiscard]] Status ScatterIndices(std::span<const uint32_t> indices);
 
   // All gathers accept `min_iter`: updates with an older iteration stamp are
   // discarded, the ASP mode that "skips merging updates from stragglers"
@@ -138,7 +138,7 @@ class MaltVector {
   // runs synchronously, so no copy is needed.
   std::vector<Decoded> Collect(int64_t min_iter);
   GatherResult FoldAll(const std::vector<Decoded>& updates, const FoldFn& fold);
-  Status EncodeAndScatter(std::span<const int>* dsts);
+  [[nodiscard]] Status EncodeAndScatter(std::span<const int>* dsts);
   // Records the outgoing stamp with the protocol checker (monotonicity).
   void NoteScatterStamp();
 

@@ -1,0 +1,19 @@
+// LINT-AS: src/check/bad_determinism.cc
+// Fixture for tools/lint_malt_api.py --selftest: nondeterminism inside
+// src/check/ (the checker must replay identically). Not compiled.
+
+#include <chrono>
+#include <cstdlib>
+
+long BadWallClock() {
+  auto now = std::chrono::steady_clock::now();  // EXPECT-LINT(check-determinism)
+  return now.time_since_epoch().count();
+}
+
+int BadRandomness() {
+  return rand();  // EXPECT-LINT(check-determinism)
+}
+
+const char* BadEnvRead() {
+  return getenv("MALT_CHECK");  // EXPECT-LINT(check-determinism)
+}

@@ -1,0 +1,9 @@
+// LINT-AS: src/core/bad_counter_name.cc
+// Fixture for tools/lint_malt_api.py --selftest: telemetry metric names must
+// be lowercase dotted identifiers. Not compiled.
+
+void BadMetricNames(MetricRegistry& reg) {
+  reg.GetCounter("Fabric.BytesSent");  // EXPECT-LINT(counter-name)
+  reg.GetGauge("loss per epoch");  // EXPECT-LINT(counter-name)
+  reg.GetHistogram("fabric.delivery_ns");  // fine: lowercase dotted
+}

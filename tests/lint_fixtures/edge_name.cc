@@ -1,0 +1,7 @@
+// LINT-AS: src/core/bad_edge_name.cc
+// Fixture for tools/lint_malt_api.py --selftest: the "comm.edge." namespace
+// is minted only by EdgeMetricName() in src/telemetry/. Not compiled.
+
+void BadEdgeName(MetricRegistry& reg) {
+  reg.GetCounter("comm.edge.0-1.bytes");  // EXPECT-LINT(edge-name)
+}

@@ -1,0 +1,25 @@
+// LINT-AS: src/core/bad_raw_mutex.cc
+// Fixture for tools/lint_malt_api.py --selftest: raw std/pthread mutexes
+// outside src/base/ (use the annotated wrappers in src/base/mutex.h).
+// Not compiled.
+
+#include <mutex>
+#include <pthread.h>
+
+class BadLocking {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // EXPECT-LINT(raw-mutex)
+    ++n_;
+  }
+  void TouchShared() {
+    std::shared_lock lock(shared_mu_);  // EXPECT-LINT(raw-mutex)
+    (void)n_;
+  }
+
+ private:
+  std::mutex mu_;  // EXPECT-LINT(raw-mutex)
+  std::shared_mutex shared_mu_;  // EXPECT-LINT(raw-mutex)
+  pthread_mutex_t legacy_mu_ = PTHREAD_MUTEX_INITIALIZER;  // EXPECT-LINT(raw-mutex)
+  int n_ = 0;
+};

@@ -10,6 +10,10 @@
 #                      so any UB aborts the gate.
 #   2. clang-tidy    — .clang-tidy profile over src/ and tools/ (skipped with
 #                      a warning if clang-tidy is not installed).
+#   2b. thread-safety — clang build with -Werror=thread-safety over the whole
+#                      tree (the MALT_THREAD_SAFETY cmake option), checking
+#                      the lock-discipline annotations in src/base/mutex.h.
+#                      Skipped with a warning if clang++ is not installed.
 #   3. lint_malt_api — repo-specific API lint (raw segment writes outside the
 #                      transports, nondeterminism in src/check/, telemetry
 #                      metric naming).
@@ -66,6 +70,24 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "WARNING: clang-tidy not installed; skipping the tidy stage" >&2
+fi
+
+# --- 2b. clang thread-safety analysis ----------------------------------------
+note "clang thread-safety analysis"
+if command -v clang++ >/dev/null 2>&1; then
+  TS_BUILD_DIR="${TS_BUILD_DIR:-$REPO/build-threadsafety}"
+  # A plain clang build: MALT_THREAD_SAFETY is ON by default, so this compiles
+  # the whole tree under -Werror=thread-safety. Any guarded-field access
+  # without its lock, or missing REQUIRES on a locked call path, fails here.
+  if cmake -B "$TS_BUILD_DIR" -S "$REPO" -DCMAKE_CXX_COMPILER=clang++ >/dev/null \
+     && cmake --build "$TS_BUILD_DIR" -j "$JOBS" > /tmp/malt_check_ts_build.log 2>&1; then
+    echo "thread-safety build OK"
+  else
+    tail -40 /tmp/malt_check_ts_build.log
+    fail "clang -Werror=thread-safety build"
+  fi
+else
+  echo "WARNING: clang++ not installed; skipping the thread-safety stage" >&2
 fi
 
 # --- 3. MALT API lint ---------------------------------------------------------

@@ -22,9 +22,22 @@ Rules:
                   literal "comm.edge." prefix anywhere else means a caller is
                   hand-rolling the name and will drift from the convention
                   tools/trace_report.py and the Merge() fold rely on.
+  raw-mutex       std::mutex / std::lock_guard / bare pthread_mutex (and their
+                  shared/recursive/unique/scoped kin) outside src/base/ are a
+                  violation: concurrent code uses the annotated wrappers in
+                  src/base/mutex.h (malt::Mutex, MutexLock, ...) so the clang
+                  thread-safety analysis (-Werror=thread-safety) sees every
+                  lock.
 
 A line containing NOLINT(malt-api) is skipped. Exit status: 0 clean,
 1 findings, 2 usage error.
+
+--selftest lints the fixture files under tests/lint_fixtures/ instead of the
+repo. Each fixture starts with a `// LINT-AS: <pretend-path>` directive (the
+path prefix selects which rules apply) and marks every line that must be
+flagged with `// EXPECT-LINT(<rule>)`. The self-test fails on any missed or
+spurious finding, so it pins both directions: the rules fire on planted
+violations and stay quiet on the clean fixture.
 """
 
 import re
@@ -39,6 +52,8 @@ SEGMENT_WRITERS = ("src/shmem/", "src/simnet/", "src/base/seqlock.h")
 
 SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.h", "tools/**/*.cc", "tools/**/*.cpp")
 
+FIXTURE_DIR = "tests/lint_fixtures"
+
 COUNTER_NAME = re.compile(r"^[a-z0-9][a-z0-9_-]*(\.[a-z0-9][a-z0-9_-]*)*$")
 GETTER = re.compile(r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"')
 MEM_WRITE = re.compile(r"\bmem(?:cpy|set|move)\s*\(\s*([^,;]*)")
@@ -49,17 +64,29 @@ NONDETERMINISM = re.compile(
     r"std::chrono|steady_clock|system_clock|\btime\s*\(|\brand\s*\(|"
     r"\bsrand\s*\(|random_device|\bgetenv\b"
 )
+RAW_MUTEX = re.compile(
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|"
+    r"std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"\bpthread_mutex(?:_t)?\b"
+)
 
 
 def lint_file(path: Path, findings: list) -> None:
     rel = path.relative_to(REPO).as_posix()
-    in_segment_writer = rel.startswith(SEGMENT_WRITERS)
-    in_check = rel.startswith("src/check/")
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
     except (OSError, UnicodeDecodeError) as err:
         findings.append((rel, 0, "io", f"unreadable: {err}"))
         return
+    lint_lines(rel, lines, findings)
+
+
+def lint_lines(rel: str, lines: list, findings: list) -> None:
+    """Lints `lines` as if they lived at repo path `rel` (which selects the
+    per-directory rule exemptions)."""
+    in_segment_writer = rel.startswith(SEGMENT_WRITERS)
+    in_check = rel.startswith("src/check/")
+    in_base = rel.startswith("src/base/")
 
     for lineno, line in enumerate(lines, start=1):
         if "NOLINT(malt-api)" in line:
@@ -92,6 +119,12 @@ def lint_file(path: Path, findings: list) -> None:
                              "nondeterminism in src/check/; the checker must "
                              "replay identically (take times via hook args)"))
 
+        if not in_base and RAW_MUTEX.search(stripped):
+            findings.append((rel, lineno, "raw-mutex",
+                             "raw std/pthread mutex outside src/base/; use the "
+                             "annotated wrappers in src/base/mutex.h so the "
+                             "thread-safety analysis sees the lock"))
+
         for name in GETTER.findall(stripped):
             if not COUNTER_NAME.match(name):
                 findings.append((rel, lineno, "counter-name",
@@ -99,7 +132,50 @@ def lint_file(path: Path, findings: list) -> None:
                                  "dotted identifier"))
 
 
+EXPECT = re.compile(r"EXPECT-LINT\(([a-z-]+)\)")
+LINT_AS = re.compile(r"^//\s*LINT-AS:\s*(\S+)")
+
+
+def selftest() -> int:
+    """Runs the rules over tests/lint_fixtures/ and checks that exactly the
+    EXPECT-LINT-marked lines are flagged."""
+    fixtures = sorted((REPO / FIXTURE_DIR).glob("*.cc*"))
+    if not fixtures:
+        print(f"lint_malt_api --selftest: no fixtures in {FIXTURE_DIR}/",
+              file=sys.stderr)
+        return 1
+    errors = []
+    for path in fixtures:
+        name = path.relative_to(REPO).as_posix()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        m = LINT_AS.match(lines[0]) if lines else None
+        if not m:
+            errors.append(f"{name}:1: missing '// LINT-AS: <path>' directive")
+            continue
+        expected = set()
+        for lineno, line in enumerate(lines, start=1):
+            for rule in EXPECT.findall(line):
+                expected.add((lineno, rule))
+        findings = []
+        lint_lines(m.group(1), lines, findings)
+        actual = {(lineno, rule) for _, lineno, rule, _ in findings}
+        for lineno, rule in sorted(expected - actual):
+            errors.append(f"{name}:{lineno}: expected [{rule}] finding, got none")
+        for lineno, rule in sorted(actual - expected):
+            errors.append(f"{name}:{lineno}: spurious [{rule}] finding")
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"lint_malt_api --selftest: FAIL "
+              f"({len(errors)} mismatch(es) across {len(fixtures)} fixtures)")
+        return 1
+    print(f"lint_malt_api --selftest: OK ({len(fixtures)} fixtures)")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) == 2 and sys.argv[1] == "--selftest":
+        return selftest()
     if len(sys.argv) > 1:
         print(__doc__, file=sys.stderr)
         return 2
