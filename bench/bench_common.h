@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/stats.h"
+#include "src/telemetry/metrics.h"
 
 namespace malt {
 
@@ -52,6 +53,46 @@ inline void PrintResult(const char* format, ...) {
   std::vprintf(format, args);
   va_end(args);
   std::printf("\n");
+}
+
+// One machine-readable result row: the configuration measured (free-form
+// "key=value ..." string), the metric's name, and its value.
+struct BenchRow {
+  std::string config;
+  std::string metric;
+  double value = 0;
+};
+
+// Machine-readable companion to the terminal tables:
+//   {"bench":NAME,"rows":[{"config":...,"metric":...,"value":...},...]}
+// written to PATH (convention: BENCH_<figure>.json next to bench_output.txt)
+// so CI trends results without scraping stdout.
+inline void WriteBenchJson(const std::string& bench, const std::string& path,
+                           const std::vector<BenchRow>& rows) {
+  std::string out("{\"bench\":");
+  AppendJsonEscaped(&out, bench);
+  out.append(",\"rows\":[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out.append("{\"config\":");
+    AppendJsonEscaped(&out, rows[i].config);
+    out.append(",\"metric\":");
+    AppendJsonEscaped(&out, rows[i].metric);
+    out.append(",\"value\":");
+    AppendJsonNumber(&out, rows[i].value);
+    out.push_back('}');
+  }
+  out.append("]}\n");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("wrote %zu result rows to %s\n", rows.size(), path.c_str());
 }
 
 // Time (x value) at which `series` first reaches `target` (y <= target for

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   std::printf("# graph total gradient scatter gather barrier  (virtual seconds, rank 0)\n");
   double totals[2] = {0, 0};
   int idx = 0;
+  std::vector<malt::BenchRow> rows;
   for (malt::GraphKind kind : {malt::GraphKind::kAll, malt::GraphKind::kHalton}) {
     malt::MaltOptions opts;
     opts.ranks = ranks;
@@ -57,6 +58,14 @@ int main(int argc, char** argv) {
     totals[idx++] = r.seconds_total;
     std::printf("%s %.4f %.4f %.4f %.4f %.4f\n", malt::ToString(kind).c_str(), r.seconds_total,
                 t_gradient, t_scatter, t_gather, t_barrier);
+    const std::string cfg = "graph=" + malt::ToString(kind) + " ranks=" + std::to_string(ranks) +
+                            " epochs=" + std::to_string(epochs) + " cb=" + std::to_string(cb);
+    rows.push_back({cfg, "total_seconds", r.seconds_total});
+    rows.push_back({cfg, "gradient_seconds", t_gradient});
+    rows.push_back({cfg, "scatter_seconds", t_scatter});
+    rows.push_back({cfg, "gather_seconds", t_gather});
+    rows.push_back({cfg, "barrier_seconds", t_barrier});
+    rows.push_back({cfg, "final_loss", r.final_loss});
     std::printf("# %s: compute fraction %.0f%%, comm+sync fraction %.0f%% (final loss %.4f, "
                 "%lld scatters, %lld objects folded on rank 0)\n",
                 malt::ToString(kind).c_str(), 100.0 * t_gradient / total,
@@ -66,5 +75,7 @@ int main(int argc, char** argv) {
   }
   malt::PrintResult("Halton total %.4fs vs all-to-all %.4fs => %.2fx faster per fixed epochs",
                     totals[1], totals[0], totals[0] / totals[1]);
+  rows.push_back({"halton_vs_all", "speedup", totals[0] / totals[1]});
+  malt::WriteBenchJson("fig08_time_breakdown", "BENCH_fig08.json", rows);
   return 0;
 }

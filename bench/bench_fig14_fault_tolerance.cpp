@@ -62,5 +62,19 @@ int main(int argc, char** argv) {
       "converged (loss %.4f vs %.4f)",
       faulty.seconds_total / clean.seconds_total,
       static_cast<double>(ranks) / (ranks - 1), faulty.final_loss, clean.final_loss);
+  const std::string base_cfg = "ranks=" + std::to_string(ranks) + " epochs=" +
+                               std::to_string(epochs) + " dataset=dna sync=bsp";
+  const std::string fault_cfg = base_cfg + " kill_rank=7";
+  malt::WriteBenchJson(
+      "fig14_fault_tolerance", "BENCH_fig14.json",
+      {{base_cfg, "fault_free_seconds", clean.seconds_total},
+       {base_cfg, "fault_free_loss", clean.final_loss},
+       {base_cfg, "fault_free_accuracy", clean.final_accuracy},
+       {fault_cfg, "failure_seconds", faulty.seconds_total},
+       {fault_cfg, "failure_loss", faulty.final_loss},
+       {fault_cfg, "failure_accuracy", faulty.final_accuracy},
+       {fault_cfg, "survivors", static_cast<double>(malt_with_fault.survivors())},
+       {fault_cfg, "slowdown_x", faulty.seconds_total / clean.seconds_total},
+       {fault_cfg, "kill_at_seconds", kill_at}});
   return 0;
 }

@@ -78,6 +78,7 @@ MfRunResult RunDistributedMf(Malt& malt, const MfAppConfig& config) {
 
     const SimTime start = w.now();
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      w.BeginEpoch(epoch);
       if (reshard) {
         shard = w.ShardRange(data.train.size());
         reshard = false;

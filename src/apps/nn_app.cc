@@ -116,6 +116,7 @@ NnRunResult RunDistributedNn(Malt& malt, const NnAppConfig& config) {
     };
 
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      w.BeginEpoch(epoch);
       if (reshard) {
         shard = w.ShardRange(data.train.size());
         reshard = false;

@@ -169,6 +169,7 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
     };
 
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      w.BeginEpoch(epoch);
       if (reshard) {
         shard = w.ShardRange(data.train.size());
         reshard = false;
@@ -190,13 +191,18 @@ SvmRunResult RunDistributedSvm(Malt& malt, const SvmAppConfig& config) {
             double jitter = config.compute_jitter > 0
                                 ? std::exp(config.compute_jitter * jitter_rng.NextGaussian())
                                 : 1.0;
-            if (w.rank() == config.slow_rank) {
-              jitter *= config.slow_factor;
-            }
             if (config.spike_prob > 0 && jitter_rng.NextDouble() < config.spike_prob) {
               jitter *= config.spike_factor;
             }
             w.ChargeFlops(batch_flops * jitter);
+            if (w.rank() == config.slow_rank && config.slow_factor > 1.0) {
+              // The persistent straggler's surcharge goes through InjectDelay
+              // so it is real wall time under shmem too (ChargeFlops is only
+              // modeled time); under sim the total modeled compute comes out
+              // the same as folding slow_factor into the jitter.
+              w.InjectDelay((config.slow_factor - 1.0) *
+                            ToSeconds(w.options().cost.ForFlops(batch_flops * jitter)));
+            }
           }
           comm_round();
           in_batch = 0;

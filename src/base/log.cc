@@ -13,6 +13,7 @@ namespace {
 
 std::atomic<int> g_level{-1};  // -1: not yet initialized from environment
 Mutex g_emit_mutex;
+std::atomic<FatalHook> g_fatal_hook{nullptr};
 
 int InitLevelFromEnv() {
   const char* env = std::getenv("MALT_LOG_LEVEL");
@@ -90,7 +91,14 @@ FatalMessage::~FatalMessage() {
     std::fputs(line.c_str(), stderr);
     std::fflush(stderr);
   }
+  // One-shot: exchange clears the hook first, so a fatal check raised while
+  // the hook runs (or a second racing fatal) falls straight through to abort.
+  if (FatalHook hook = g_fatal_hook.exchange(nullptr, std::memory_order_acq_rel)) {
+    hook();
+  }
   std::abort();
 }
+
+void SetFatalHook(FatalHook hook) { g_fatal_hook.store(hook, std::memory_order_release); }
 
 }  // namespace malt

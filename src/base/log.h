@@ -69,6 +69,14 @@ class NullLogMessage {
 
 namespace malt {
 
+// Hook invoked once, after a fatal check's message is printed and before
+// std::abort() — the flight recorder dumps its postmortem bundle here
+// (src/telemetry/flightrec.h). The hook is cleared before it runs, so a
+// fatal check raised inside the hook itself cannot recurse. nullptr
+// uninstalls. Runs in normal (non-signal) context.
+using FatalHook = void (*)();
+void SetFatalHook(FatalHook hook);
+
 class FatalMessage {
  public:
   FatalMessage(const char* file, int line, const char* condition);

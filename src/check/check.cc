@@ -681,6 +681,11 @@ const std::vector<uint64_t>& ProtocolChecker::VectorClock(int rank) const {
   return vclock_[static_cast<size_t>(rank)];
 }
 
+std::vector<uint64_t> ProtocolChecker::VectorClockSnapshot(int rank) const {
+  MutexLock lock(barrier_mu_);
+  return vclock_[static_cast<size_t>(rank)];
+}
+
 int64_t ProtocolChecker::CountFor(const std::string& kind) const {
   MutexLock lock(report_mu_);
   const auto it = by_kind_.find(kind);

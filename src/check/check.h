@@ -219,6 +219,11 @@ class ProtocolChecker {
   // protection).
   const std::vector<uint64_t>& VectorClock(int rank) const MALT_NO_THREAD_SAFETY_ANALYSIS;
 
+  // Race-free copy of `rank`'s vector clock, safe to call MID-RUN (takes
+  // the barrier ledger lock) — the flight recorder snapshots clocks while
+  // rank threads are still inside barriers.
+  std::vector<uint64_t> VectorClockSnapshot(int rank) const;
+
   // Manual report (used by auxiliary validators and fault-injection tests).
   void ReportViolation(const char* kind, int rank, SimTime now, std::string detail);
 

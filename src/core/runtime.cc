@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "src/base/log.h"
 #include "src/shmem/rank_ctx.h"
+#include "src/telemetry/metrics.h"
 
 namespace malt {
 
@@ -97,6 +99,62 @@ void Worker::InitTelemetry() {
   c_phase_ns_[3] = reg.GetCounter("worker.barrier_ns");
   c_barrier_wait_ns_ = reg.GetCounter("worker.barrier_wait_ns");
   c_ssp_wait_ns_ = reg.GetCounter("worker.ssp_wait_ns");
+  wait_on_ns_.assign(static_cast<size_t>(world()), 0);
+}
+
+void Worker::BeginEpoch(int64_t epoch) {
+  CloseEpochForHealth();
+  health_epoch_ = epoch;
+  epoch_start_ = ctx_->Now();
+  for (int p = 0; p < 4; ++p) {
+    epoch_base_[p] = c_phase_ns_[p]->value();
+  }
+  epoch_base_[4] = c_barrier_wait_ns_->value();
+  epoch_base_[5] = c_ssp_wait_ns_->value();
+  std::fill(wait_on_ns_.begin(), wait_on_ns_.end(), 0);
+  telemetry().trace.Instant("epoch", epoch_start_, "epoch", epoch);
+}
+
+void Worker::CloseEpochForHealth() {
+  if (health_epoch_ < 0) {
+    return;
+  }
+  EpochReport report;
+  report.rank = rank_;
+  report.epoch = health_epoch_;
+  report.start_ts = epoch_start_;
+  report.end_ts = ctx_->Now();
+  report.compute_ns = c_phase_ns_[0]->value() - epoch_base_[0];
+  report.scatter_ns = c_phase_ns_[1]->value() - epoch_base_[1];
+  report.gather_ns = c_phase_ns_[2]->value() - epoch_base_[2];
+  report.barrier_ns = c_phase_ns_[3]->value() - epoch_base_[3];
+  report.wait_ns = (c_barrier_wait_ns_->value() - epoch_base_[4]) +
+                   (c_ssp_wait_ns_->value() - epoch_base_[5]);
+  report.wait_on_ns = wait_on_ns_;
+  for (int peer = 0; peer < world(); ++peer) {
+    if (wait_on_ns_[static_cast<size_t>(peer)] > report.waiting_on_ns) {
+      report.waiting_on_ns = wait_on_ns_[static_cast<size_t>(peer)];
+      report.waiting_on = peer;
+    }
+  }
+  health_epoch_ = -1;
+  malt_->health().OnEpochClose(report);
+}
+
+int Worker::SlowestInNeighbor(const MaltVector& v) const {
+  int slowest = -1;
+  int64_t min_iter = std::numeric_limits<int64_t>::max();
+  for (int sender : v.graph().InEdges(rank_)) {
+    if (!dstorm_->InGroup(sender)) {
+      continue;
+    }
+    const int64_t iter = dstorm_->PeerIteration(v.segment(), sender);
+    if (iter < min_iter) {
+      min_iter = iter;
+      slowest = sender;
+    }
+  }
+  return slowest;
 }
 
 int Worker::world() const { return malt_->options().ranks; }
@@ -111,6 +169,18 @@ Process& Worker::process() {
 void Worker::ChargeFlops(double flops) { ctx_->Advance(options().cost.ForFlops(flops)); }
 
 void Worker::ChargeSeconds(double seconds) { ctx_->Advance(FromSeconds(seconds)); }
+
+void Worker::InjectDelay(double seconds) {
+  if (seconds <= 0) {
+    return;
+  }
+  if (options().transport == TransportKind::kShmem) {
+    // Really wait out the wall clock (Advance would be a no-op here).
+    ctx_->WaitOr([] { return false; }, ctx_->Now() + FromSeconds(seconds));
+  } else {
+    ctx_->Advance(FromSeconds(seconds));
+  }
+}
 
 MaltVector Worker::CreateVector(const std::string& name, size_t dim, Layout layout,
                                 size_t max_nnz) {
@@ -141,7 +211,14 @@ Status Worker::Barrier() {
     monitor_->HealthCheckAndRecover();
     status = dstorm_->BarrierResume(options().barrier_timeout);
   }
-  c_barrier_wait_ns_->Add(ctx_->Now() - t0);
+  const SimDuration waited = ctx_->Now() - t0;
+  c_barrier_wait_ns_->Add(waited);
+  // Blame the wait on the member the barrier predicate last saw missing —
+  // the straggler this rank actually stalled for.
+  const int blocker = dstorm_->last_barrier_blocker();
+  if (blocker >= 0 && !wait_on_ns_.empty()) {
+    wait_on_ns_[static_cast<size_t>(blocker)] += waited;
+  }
   return status;
 }
 
@@ -172,12 +249,22 @@ void Worker::SspWait(MaltVector& v) {
     const int64_t min_peer = v.MinPeerIteration();
     return min_peer >= static_cast<int64_t>(v.iteration()) - bound;
   };
+  SimTime seg_start = t0;
   while (!fresh_enough()) {
+    // The peer currently holding the minimum stamp is who this stall is
+    // waiting on; charge it the wait interval (re-sampled every round, so a
+    // blocker that catches up stops accruing blame).
+    const int blocker = SlowestInNeighbor(v);
     // Stall for a bounded interval waiting for the straggler (paper §6.1),
     // then re-check health in case it died.
     if (!ctx_->WaitOr(fresh_enough, ctx_->Now() + options().barrier_timeout)) {
       monitor_->HealthCheckAndRecover();
     }
+    const SimTime seg_end = ctx_->Now();
+    if (blocker >= 0 && !wait_on_ns_.empty()) {
+      wait_on_ns_[static_cast<size_t>(blocker)] += seg_end - seg_start;
+    }
+    seg_start = seg_end;
   }
   c_ssp_wait_ns_->Add(ctx_->Now() - t0);
 
@@ -244,6 +331,138 @@ Malt::Malt(MaltOptions options)
   domain_ = std::make_unique<DstormDomain>(*transport_, options_.ranks, &telemetry_);
   checker_.BindTelemetry(&telemetry_);
   checker_.SetStalenessBound(options_.staleness);
+  health_ = std::make_unique<HealthMonitor>(&telemetry_, options_.ranks);
+  if (!options_.telemetry.postmortem_path.empty()) {
+    flightrec_ = std::make_unique<FlightRecorder>(options_.telemetry.postmortem_path);
+    WireFlightRecorder();
+  }
+}
+
+SimTime Malt::RunClockNow() const {
+  return engine_ != nullptr ? engine_->now() : shmem_->clock().NowNs();
+}
+
+void Malt::DumpPostmortem(const char* reason) {
+  if (flightrec_ == nullptr) {
+    return;
+  }
+  const SimTime now = RunClockNow();
+  flightrec_->RefreshSnapshot(now);
+  flightrec_->Dump(reason, now);
+}
+
+void Malt::WireFlightRecorder() {
+  // Section renderers run at dump/refresh time: from the watchdog or sampler
+  // thread mid-run, or from the fatal hook at death. Everything they touch is
+  // safe to read concurrently (atomic metric cells, registry/ring/ledger
+  // locks, HealthMonitor's mutex).
+  flightrec_->AddSection("options", [this](std::string* out) {
+    out->append("{\"ranks\":");
+    AppendJsonNumber(out, static_cast<double>(options_.ranks));
+    out->append(",\"transport\":");
+    AppendJsonEscaped(out, options_.transport == TransportKind::kSim ? "sim" : "shmem");
+    out->append(",\"sync\":");
+    AppendJsonEscaped(out, ToString(options_.sync));
+    out->append(",\"graph\":");
+    AppendJsonEscaped(out, ToString(options_.graph));
+    out->append(",\"staleness\":");
+    AppendJsonNumber(out, static_cast<double>(options_.staleness));
+    out->append(",\"queue_depth\":");
+    AppendJsonNumber(out, static_cast<double>(options_.queue_depth));
+    out->append(",\"seed\":");
+    AppendJsonNumber(out, static_cast<double>(options_.seed));
+    out->append(",\"check\":");
+    AppendJsonEscaped(out, ToString(options_.check));
+    out->push_back('}');
+  });
+  flightrec_->AddSection("metrics", [this](std::string* out) {
+    telemetry_.SyncTraceDroppedCounters();
+    out->append(telemetry_.MetricsJson());
+  });
+  flightrec_->AddSection("watermarks",
+                         [this](std::string* out) { out->append(health_->WatermarksJson()); });
+  flightrec_->AddSection("critical_paths", [this](std::string* out) {
+    const std::vector<CriticalPathRecord> paths = health_->critical_paths();
+    out->push_back('[');
+    // Keep the bundle bounded: the newest window of epochs is the useful one.
+    constexpr size_t kMaxPaths = 64;
+    const size_t begin = paths.size() > kMaxPaths ? paths.size() - kMaxPaths : 0;
+    for (size_t i = begin; i < paths.size(); ++i) {
+      const CriticalPathRecord& rec = paths[i];
+      if (i > begin) {
+        out->push_back(',');
+      }
+      out->append("{\"epoch\":");
+      AppendJsonNumber(out, static_cast<double>(rec.epoch));
+      out->append(",\"critical_rank\":");
+      AppendJsonNumber(out, static_cast<double>(rec.critical_rank));
+      out->append(",\"wall_ns\":");
+      AppendJsonNumber(out, static_cast<double>(rec.wall_ns));
+      out->append(",\"wait_ns\":");
+      AppendJsonNumber(out, static_cast<double>(rec.wait_ns));
+      out->append(",\"waiting_on\":");
+      AppendJsonNumber(out, static_cast<double>(rec.waiting_on));
+      out->append(",\"straggler\":");
+      AppendJsonNumber(out, static_cast<double>(rec.straggler));
+      out->push_back('}');
+    }
+    out->push_back(']');
+  });
+  flightrec_->AddSection("checker", [this](std::string* out) {
+    out->append(checker_.ReportJson());
+  });
+  flightrec_->AddSection("vclocks", [this](std::string* out) {
+    out->push_back('[');
+    for (int rank = 0; rank < options_.ranks; ++rank) {
+      if (rank > 0) {
+        out->push_back(',');
+      }
+      out->push_back('[');
+      const std::vector<uint64_t> clock = checker_.VectorClockSnapshot(rank);
+      for (size_t i = 0; i < clock.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        AppendJsonNumber(out, static_cast<double>(clock[i]));
+      }
+      out->push_back(']');
+    }
+    out->push_back(']');
+  });
+  flightrec_->AddSection("trace_tail", [this](std::string* out) {
+    // The newest events of every rank's ring, one compact object each —
+    // enough to see what each rank was doing when the run died.
+    constexpr size_t kTailPerRank = 64;
+    out->push_back('[');
+    bool first = true;
+    for (int rank = 0; rank < telemetry_.ranks(); ++rank) {
+      const std::vector<TraceEvent> events = telemetry_.rank(rank).trace.Snapshot();
+      const size_t begin = events.size() > kTailPerRank ? events.size() - kTailPerRank : 0;
+      for (size_t i = begin; i < events.size(); ++i) {
+        const TraceEvent& ev = events[i];
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        out->append("{\"rank\":");
+        AppendJsonNumber(out, static_cast<double>(rank));
+        out->append(",\"name\":");
+        AppendJsonEscaped(out, ev.name);
+        out->append(",\"ph\":");
+        AppendJsonEscaped(out, std::string(1, ev.ph));
+        out->append(",\"ts\":");
+        AppendJsonNumber(out, static_cast<double>(ev.ts));
+        if (ev.arg_name != nullptr) {
+          out->push_back(',');
+          AppendJsonEscaped(out, ev.arg_name);
+          out->push_back(':');
+          AppendJsonNumber(out, static_cast<double>(ev.arg));
+        }
+        out->push_back('}');
+      }
+    }
+    out->push_back(']');
+  });
 }
 
 Engine& Malt::engine() {
@@ -271,6 +490,14 @@ void Malt::Run(const std::function<void(Worker&)>& body) {
   const TelemetryOptions& topt = options_.telemetry;
   if (topt.metrics_interval_ms > 0 && !topt.metrics_stream_path.empty()) {
     streamer_ = std::make_unique<MetricsStreamer>(&telemetry_, topt.metrics_stream_path);
+    health_->BindStreamer(streamer_.get());
+  }
+  if (flightrec_ != nullptr) {
+    // Process-wide dump target for the fatal-check hook (and, if the driver
+    // opted in, the fatal-signal handlers), with a first pre-serialized
+    // snapshot so even an immediate crash dumps a (sparse) bundle.
+    flightrec_->Activate(topt.postmortem_signals);
+    flightrec_->RefreshSnapshot(0);
   }
   if (options_.transport == TransportKind::kSim) {
     RunSim(body);
@@ -280,6 +507,22 @@ void Malt::Run(const std::function<void(Worker&)>& body) {
   // Fold the trace rings' drop counts into the metric registries so post-run
   // exports see an accurate telemetry.trace.dropped even without a streamer.
   telemetry_.SyncTraceDroppedCounters();
+  const SimTime end = RunClockNow();
+  // Abnormal-exit audit: ranks that died without unwinding through the
+  // shmem catch path (sim kills stop the process cold) are reported here, so
+  // watermarks and epoch finalization never hang on a corpse.
+  for (int rank = 0; rank < options_.ranks; ++rank) {
+    if (!rank_survived(rank)) {
+      health_->OnRankDead(rank, end);
+    }
+  }
+  health_->Finish(end);
+  if (flightrec_ != nullptr) {
+    flightrec_->RefreshSnapshot(end);
+    if (survivors() < options_.ranks) {
+      flightrec_->Dump("rank_death", end);
+    }
+  }
 }
 
 void Malt::RunSim(const std::function<void(Worker&)>& body) {
@@ -294,6 +537,7 @@ void Malt::RunSim(const std::function<void(Worker&)>& body) {
       worker.recorder_ = &recorders_[static_cast<size_t>(rank)];
       worker.InitTelemetry();
       body(worker);
+      worker.CloseEpochForHealth();
       // Tell peers this rank is done with collectives: after failures,
       // survivors can run different numbers of rounds per epoch, and a
       // barrier must never wait on a rank that already returned.
@@ -320,6 +564,9 @@ void Malt::RunSim(const std::function<void(Worker&)>& body) {
       };
       while (!proc.WaitUntilOr(all_ranks_done, proc.now() + interval)) {
         streamer_->Sample(proc.now());
+        if (flightrec_ != nullptr) {
+          flightrec_->RefreshSnapshot(proc.now());
+        }
       }
       streamer_->Finish(proc.now());
     });
@@ -347,6 +594,7 @@ void Malt::RunShmem(const std::function<void(Worker&)>& body) {
       std::sort(kills.begin(), kills.end(),
                 [](const auto& a, const auto& b) { return a.second < b.second; });
       size_t next = 0;
+      SimTime last_refresh = 0;
       while (next < kills.size() && !run_done.load(std::memory_order_acquire)) {
         const SimTime now = shmem_->clock().NowNs();
         if (now >= FromSeconds(kills[next].second)) {
@@ -354,8 +602,18 @@ void Malt::RunShmem(const std::function<void(Worker&)>& body) {
           MALT_LOG_S(kInfo) << "watchdog: killing rank " << victim;
           shmem_->MarkDead(victim);
           ctxs[static_cast<size_t>(victim)]->RequestKill();
+          // Postmortem at the moment of death: the bundle captures what the
+          // cluster looked like when the kill landed, not only at run end.
+          health_->OnRankDead(victim, now);
+          if (flightrec_ != nullptr) {
+            flightrec_->Dump("watchdog_kill", now);
+          }
           ++next;
           continue;
+        }
+        if (flightrec_ != nullptr && now - last_refresh >= FromSeconds(0.05)) {
+          flightrec_->RefreshSnapshot(now);
+          last_refresh = now;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
@@ -372,7 +630,13 @@ void Malt::RunShmem(const std::function<void(Worker&)>& body) {
       auto next = std::chrono::steady_clock::now() + interval;
       while (!run_done.load(std::memory_order_acquire)) {
         if (std::chrono::steady_clock::now() >= next) {
-          streamer_->Sample(shmem_->clock().NowNs());
+          const SimTime now = shmem_->clock().NowNs();
+          streamer_->Sample(now);
+          // Keep the signal handler's pre-serialized postmortem snapshot
+          // fresh at the sampler cadence.
+          if (flightrec_ != nullptr) {
+            flightrec_->RefreshSnapshot(now);
+          }
           next += interval;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -393,12 +657,16 @@ void Malt::RunShmem(const std::function<void(Worker&)>& body) {
       worker.InitTelemetry();
       try {
         body(worker);
+        worker.CloseEpochForHealth();
         worker.dstorm_->FinishBarriers();
       } catch (const ProcessKilled&) {
         // Fail-stop: the rank is dead from here on; peers observe error
         // completions and failed probes exactly as on the simulated fabric.
+        // The interrupted epoch is discarded (a partial epoch would skew the
+        // straggler statistics); the death itself is what health records.
         shmem_->MarkDead(rank);
         shmem_survived_[static_cast<size_t>(rank)] = 0;
+        health_->OnRankDead(rank, ctxs[static_cast<size_t>(rank)]->Now());
       }
     });
   }

@@ -29,6 +29,8 @@
 #include "src/shmem/shmem_transport.h"
 #include "src/sim/engine.h"
 #include "src/simnet/fabric.h"
+#include "src/telemetry/flightrec.h"
+#include "src/telemetry/health.h"
 #include "src/telemetry/stream.h"
 #include "src/vol/accumulator.h"
 #include "src/vol/malt_vector.h"
@@ -81,6 +83,11 @@ class Worker {
   // the compute itself already took wall time).
   void ChargeFlops(double flops);
   void ChargeSeconds(double seconds);
+  // Straggler/fault injection: a delay that is REAL on both backends —
+  // virtual-time advance under sim, an actual (cancellable) wall-clock wait
+  // under shmem. Unlike ChargeSeconds, which is a no-op on wall time under
+  // shmem, this genuinely slows the rank down.
+  void InjectDelay(double seconds);
 
   // Creates a shared vector over the run's configured dataflow graph.
   MaltVector CreateVector(const std::string& name, size_t dim, Layout layout = Layout::kDense,
@@ -112,6 +119,13 @@ class Worker {
   // iteration stamp. No-op under BSP/ASP.
   void SspWait(MaltVector& v);
 
+  // Epoch boundary for the health layer (src/telemetry/health.h): closes the
+  // previous epoch (reporting its phase/wait split to the HealthMonitor) and
+  // opens `epoch`. Apps call this at the top of each training-epoch loop;
+  // the runtime closes the final epoch when the worker body returns. Safe to
+  // skip entirely — a body that never calls it just has no epoch profile.
+  void BeginEpoch(int64_t epoch);
+
   // Number of live replicas (shrinks after failures).
   int live_ranks() const;
 
@@ -121,6 +135,11 @@ class Worker {
 
   // Resolves the cached counter cells; requires dstorm_ to be set.
   void InitTelemetry();
+  // Reports the open epoch (if any) to the HealthMonitor; no-op otherwise.
+  void CloseEpochForHealth();
+  // The live in-neighbor of `v` with the smallest visible iteration stamp —
+  // the peer an SSP stall is waiting on (-1 if `v` has no live in-edges).
+  int SlowestInNeighbor(const MaltVector& v) const;
 
   Malt* malt_;
   int rank_;
@@ -133,6 +152,14 @@ class Worker {
   Counter* c_phase_ns_[4] = {nullptr, nullptr, nullptr, nullptr};
   Counter* c_barrier_wait_ns_ = nullptr;
   Counter* c_ssp_wait_ns_ = nullptr;
+
+  // Epoch profiling state (BeginEpoch / CloseEpochForHealth): the phase and
+  // wait counters at epoch open, and this epoch's per-peer blocking-wait
+  // attribution recorded at the barrier/SSP wait sites. Owner-thread only.
+  int64_t health_epoch_ = -1;
+  SimTime epoch_start_ = 0;
+  int64_t epoch_base_[6] = {0, 0, 0, 0, 0, 0};
+  std::vector<int64_t> wait_on_ns_;
 };
 
 class Malt {
@@ -179,6 +206,22 @@ class Malt {
   // virtual time; under shmem as a wall-clock thread.
   MetricsStreamer* metrics_streamer() { return streamer_.get(); }
 
+  // The rank-health layer: epoch critical paths, straggler watermarks
+  // (src/telemetry/health.h). Always present; populated by workers that call
+  // Worker::BeginEpoch.
+  HealthMonitor& health() { return *health_; }
+  const HealthMonitor& health() const { return *health_; }
+
+  // The crash flight recorder, when TelemetryOptions::postmortem_path is set
+  // (bundles dump there on abnormal endings; see src/telemetry/flightrec.h).
+  // Null otherwise.
+  FlightRecorder* flight_recorder() { return flightrec_.get(); }
+
+  // Driver hook: refresh and dump a postmortem bundle right now (malt_run
+  // calls this when the protocol checker reported violations, so the bundle
+  // carries the checker section). No-op without a flight recorder.
+  void DumpPostmortem(const char* reason);
+
   // Post-run accessors.
   Recorder& recorder(int rank) { return recorders_[static_cast<size_t>(rank)]; }
   const std::vector<Recorder>& recorders() const { return recorders_; }
@@ -189,6 +232,11 @@ class Malt {
   static Graph BuildDataflow(const MaltOptions& options);
   void RunSim(const std::function<void(Worker&)>& body);
   void RunShmem(const std::function<void(Worker&)>& body);
+  // Registers the flight recorder's postmortem sections (options, metrics,
+  // trace tail, watermarks, critical paths, checker report, vector clocks).
+  void WireFlightRecorder();
+  // The run's clock right now: virtual time under sim, wall under shmem.
+  SimTime RunClockNow() const;
 
   MaltOptions options_;
   TelemetryDomain telemetry_;
@@ -199,6 +247,8 @@ class Malt {
   Transport* transport_ = nullptr;
   std::unique_ptr<DstormDomain> domain_;
   std::unique_ptr<MetricsStreamer> streamer_;
+  std::unique_ptr<HealthMonitor> health_;
+  std::unique_ptr<FlightRecorder> flightrec_;
   Graph dataflow_;
   std::vector<Recorder> recorders_;
   std::vector<std::pair<int, double>> pending_kills_;  // shmem: (rank, at_seconds)

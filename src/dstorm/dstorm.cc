@@ -706,6 +706,7 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
   // recovery on this node) lets the barrier complete with the survivors.
   // Counters are read through the transport so peers' word-atomic arrival
   // writes are observed race-free under the shmem backend.
+  last_barrier_blocker_ = -1;
   auto arrived = [this, round] {
     for (int member = 0; member < world_; ++member) {
       if (!group_member_[static_cast<size_t>(member)] || member == rank_) {
@@ -714,9 +715,11 @@ Status Dstorm::BarrierResume(SimDuration timeout) {
       std::byte seen_wire[sizeof(uint64_t)];
       if (!transport_->Read(barrier_mr_, static_cast<size_t>(member) * sizeof(uint64_t),
                             seen_wire)) {
+        last_barrier_blocker_ = member;
         return false;  // counter word mid-write: not arrived yet
       }
       if (LoadU64(seen_wire) < round) {
+        last_barrier_blocker_ = member;
         return false;
       }
     }

@@ -204,6 +204,10 @@ class Dstorm {
 
   bool InGroup(int node) const { return group_member_[static_cast<size_t>(node)]; }
   std::vector<int> GroupMembers() const;
+  // The group member this node last observed not-yet-arrived while waiting
+  // inside Barrier/BarrierResume (-1: the barrier never made it wait). The
+  // runtime's health layer charges barrier wait time to this peer.
+  int last_barrier_blocker() const { return last_barrier_blocker_; }
   int64_t group_epoch() const { return group_epoch_; }
 
  private:
@@ -288,6 +292,11 @@ class Dstorm {
   // Barrier state.
   MrHandle barrier_mr_;
   uint64_t barrier_round_ = 0;
+  // The last group member observed not-yet-arrived while this node waited in
+  // its most recent Barrier/BarrierResume; -1 if the barrier completed on
+  // the first check. Read by the health layer to attribute barrier wait time
+  // to the straggling peer. Owner-thread state, like barrier_round_.
+  int last_barrier_blocker_ = -1;
 
   // Health-probe scratch region (rkey 1 on every node).
   MrHandle probe_mr_;

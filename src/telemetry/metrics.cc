@@ -213,6 +213,18 @@ std::string EdgeMetricName(int src, int dst, const char* leaf) {
   return buf;
 }
 
+std::string HealthMetricName(int rank, const char* leaf) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "health.rank.%d.%s", rank, leaf);
+  return buf;
+}
+
+std::string HealthMetricName(const char* leaf) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "health.cluster.%s", leaf);
+  return buf;
+}
+
 void AppendJsonEscaped(std::string* out, const std::string& s) {
   out->push_back('"');
   for (char c : s) {

@@ -159,6 +159,14 @@ class MetricRegistry {
 // rejects the literal prefix outside src/telemetry/.
 std::string EdgeMetricName(int src, int dst, const char* leaf);
 
+// Per-rank health/watermark metric names, e.g. "health.rank.3.epoch_lag",
+// and cluster-level ones, e.g. "health.cluster.epochs_profiled". The
+// `health.` scheme is the single namespace for the straggler/progress
+// watermarks exported by src/telemetry/health.h; build the names with these
+// helpers — lint_malt_api rejects the literal prefix outside src/telemetry/.
+std::string HealthMetricName(int rank, const char* leaf);
+std::string HealthMetricName(const char* leaf);
+
 // Standard layouts for the per-edge histograms, shared by both transports so
 // Merge() never sees mismatched buckets. Delivery: 0–100us in 1us buckets
 // (sim deliveries are a few us; shmem applies are sub-us to a few us; slower

@@ -8,7 +8,9 @@
 namespace malt {
 
 MetricsStreamer::MetricsStreamer(TelemetryDomain* domain, std::string path)
-    : domain_(domain), path_(std::move(path)), out_(path_, std::ios::binary) {
+    : domain_(domain), path_(std::move(path)) {
+  MutexLock lock(mu_);
+  out_.open(path_, std::ios::binary);
   status_ = out_.good() ? OkStatus()
                         : UnavailableError("cannot open metrics stream '" + path_ + "'");
 }
@@ -17,15 +19,33 @@ void MetricsStreamer::Sample(SimTime ts_ns) { WriteRecord(ts_ns, /*force=*/false
 
 void MetricsStreamer::Finish(SimTime ts_ns) {
   WriteRecord(ts_ns, /*force=*/true);
+  MutexLock lock(mu_);
   out_.flush();
 }
 
-void MetricsStreamer::WriteRecord(SimTime ts_ns, bool force) {
+void MetricsStreamer::AppendLine(const std::string& line) {
+  MutexLock lock(mu_);
   if (!status_.ok()) {
     return;
   }
+  out_ << line;
+  out_.flush();
+  if (!out_.good()) {
+    status_ = UnavailableError("failed writing metrics stream '" + path_ + "'");
+  }
+}
+
+void MetricsStreamer::WriteRecord(SimTime ts_ns, bool force) {
+  // The aggregation walk happens before taking mu_: Merged() reads atomic
+  // cells and registry-locked maps, and keeping it outside shortens the
+  // window during which concurrent AppendLine() callers block.
   domain_->SyncTraceDroppedCounters();
   const MetricRegistry merged = domain_->Merged();
+
+  MutexLock lock(mu_);
+  if (!status_.ok()) {
+    return;
+  }
 
   // Collect the deltas first so an all-quiet tick can be skipped entirely.
   std::vector<std::pair<std::string, int64_t>> counter_deltas;
@@ -60,7 +80,7 @@ void MetricsStreamer::WriteRecord(SimTime ts_ns, bool force) {
 
   std::string line;
   line.append("{\"seq\":");
-  AppendJsonNumber(&line, static_cast<double>(seq_));
+  AppendJsonNumber(&line, static_cast<double>(seq_.load(std::memory_order_relaxed)));
   line.append(",\"ts_ns\":");
   AppendJsonNumber(&line, static_cast<double>(ts_ns));
   line.append(",\"counters\":{");
@@ -113,7 +133,7 @@ void MetricsStreamer::WriteRecord(SimTime ts_ns, bool force) {
     status_ = UnavailableError("failed writing metrics stream '" + path_ + "'");
     return;
   }
-  seq_ += 1;
+  seq_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace malt

@@ -17,20 +17,28 @@
 // loss into the "telemetry.trace.dropped" counters first, so a live reader
 // sees ring overflow as it happens.
 //
-// Concurrency: Sample() must be called from ONE driver at a time — the
+// Besides the sampler's delta records, other producers can interleave their
+// own record types — AppendLine() writes one pre-rendered NDJSON line (the
+// health layer's {"type":"critical_path",...} records ride the stream this
+// way). Consumers must dispatch on the presence of "type"/"seq" keys.
+//
+// Concurrency: Sample()/Finish() are driven by ONE sampler at a time — the
 // wall-clock sampler thread under shmem, the auxiliary virtual-time process
 // under sim (see Malt::Run) — while every rank concurrently bumps its
-// registry. That is safe because the metric primitives are atomic and
-// MetricRegistry locks its maps (see metrics.h).
+// registry (safe: the metric primitives are atomic and MetricRegistry locks
+// its maps). AppendLine() may race the sampler and other appenders from any
+// rank thread; an internal mutex keeps whole lines atomic in the output.
 
 #ifndef SRC_TELEMETRY_STREAM_H_
 #define SRC_TELEMETRY_STREAM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <map>
 #include <string>
 
+#include "src/base/mutex.h"
 #include "src/base/status.h"
 #include "src/base/time_units.h"
 #include "src/telemetry/telemetry.h"
@@ -42,9 +50,13 @@ class MetricsStreamer {
   // Opens `path` for writing; check status() before sampling.
   MetricsStreamer(TelemetryDomain* domain, std::string path);
 
-  const Status& status() const { return status_; }
+  // By value: a concurrent writer may be updating the stored status.
+  Status status() const {
+    MutexLock lock(mu_);
+    return status_;
+  }
   const std::string& path() const { return path_; }
-  int64_t samples() const { return seq_; }
+  int64_t samples() const { return seq_.load(std::memory_order_relaxed); }
 
   // Appends one delta record stamped `ts_ns` and flushes, unless nothing
   // changed since the previous record (then the tick is skipped).
@@ -53,16 +65,21 @@ class MetricsStreamer {
   // Unconditional final record + flush; the stream is complete after this.
   void Finish(SimTime ts_ns);
 
+  // Appends one pre-rendered, newline-terminated NDJSON line verbatim and
+  // flushes. Thread-safe against Sample()/Finish() and other appenders.
+  void AppendLine(const std::string& line);
+
  private:
   void WriteRecord(SimTime ts_ns, bool force);
 
   TelemetryDomain* domain_;
   std::string path_;
-  std::ofstream out_;
-  Status status_;
-  int64_t seq_ = 0;
-  std::map<std::string, int64_t> prev_counters_;
-  std::map<std::string, int64_t> prev_hist_counts_;
+  std::atomic<int64_t> seq_{0};
+  mutable Mutex mu_;
+  Status status_ MALT_GUARDED_BY(mu_);
+  std::ofstream out_ MALT_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> prev_counters_ MALT_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> prev_hist_counts_ MALT_GUARDED_BY(mu_);
 };
 
 }  // namespace malt

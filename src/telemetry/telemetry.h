@@ -35,6 +35,15 @@ struct TelemetryOptions {
   // a wall-clock thread under shmem). See src/telemetry/stream.h.
   int metrics_interval_ms = 0;
   std::string metrics_stream_path;
+  // Crash flight recorder: when non-empty, the runtime activates a
+  // FlightRecorder that dumps postmortem bundles here on abnormal endings
+  // (checker violation, watchdog kill, rank death, fatal check, fatal
+  // signal). See src/telemetry/flightrec.h.
+  std::string postmortem_path;
+  // Also install the async-signal-safe crash handlers (SIGSEGV & friends).
+  // Off by default — drivers like malt_run opt in; tests and libraries
+  // should not change process-wide signal dispositions.
+  bool postmortem_signals = false;
 };
 
 struct RankTelemetry {

@@ -1,0 +1,13 @@
+// LINT-AS: src/core/bad_health_name.cc
+// Fixture for tools/lint_malt_api.py --selftest: the "health.rank.<r>.*" /
+// "health.cluster.*" namespace is minted only by HealthMetricName() in
+// src/telemetry/. Not compiled.
+
+void BadHealthName(MetricRegistry& reg) {
+  reg.GetGauge("health.rank.3.wall_z");  // EXPECT-LINT(health-name)
+  reg.GetGauge("health.cluster.epochs_profiled");  // EXPECT-LINT(health-name)
+}
+
+void GoodHealthName(MetricRegistry& reg, int rank) {
+  reg.GetGauge(HealthMetricName(rank, "wall_z"));
+}

@@ -1,0 +1,174 @@
+// Crash flight recorder (src/telemetry/flightrec.h): postmortem bundles for
+// abnormal run endings. Covers the NDJSON record shape, lazy file creation
+// (a clean run leaves nothing), multi-dump appends, the pre-serialized
+// signal snapshot, and the runtime-wired triggers — a forced checker
+// violation and a watchdog/fail-stop kill must each leave a complete bundle
+// on BOTH transports. The shmem cases run real concurrent threads
+// (tools/check.sh re-runs this suite under ThreadSanitizer).
+
+#include "src/telemetry/flightrec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace malt {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool Exists(const std::string& path) { return std::ifstream(path).good(); }
+
+std::vector<std::string> Lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(FlightRecorder, LazyFileAndAppendingDumps) {
+  const std::string path = testing::TempDir() + "fr_unit.ndjson";
+  std::remove(path.c_str());
+  {
+    FlightRecorder fr(path);
+    int renders = 0;
+    fr.AddSection("probe", [&renders](std::string* out) {
+      ++renders;
+      out->append("{\"calls\":");
+      out->append(std::to_string(renders));
+      out->push_back('}');
+    });
+    EXPECT_FALSE(Exists(path)) << "no dump yet: the bundle must not exist";
+    EXPECT_TRUE(fr.Dump("first", 100));
+    EXPECT_TRUE(fr.Dump("second", 200));
+    EXPECT_EQ(fr.dumps(), 2);
+  }
+  const std::vector<std::string> lines = Lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"reason\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ts_ns\":100"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"probe\":{\"calls\":1}"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"reason\":\"second\""), std::string::npos);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(FlightRecorder, SnapshotIsPreSerializedForTheSignalPath) {
+  const std::string path = testing::TempDir() + "fr_snap.ndjson";
+  std::remove(path.c_str());
+  FlightRecorder fr(path);
+  fr.AddSection("state", [](std::string* out) { out->append("\"ok\""); });
+  fr.RefreshSnapshot(42);
+  // Dump still renders live (snapshot is only for the handler), and the
+  // snapshot machinery must not have started the file.
+  EXPECT_FALSE(Exists(path));
+  EXPECT_TRUE(fr.Dump("check", 43));
+  EXPECT_NE(Slurp(path).find("\"state\":\"ok\""), std::string::npos);
+}
+
+// A forced protocol violation must produce a complete bundle via the same
+// driver path malt_run uses (DumpPostmortem before exit 3).
+void RunCheckerViolationBundle(TransportKind transport) {
+  const std::string path = testing::TempDir() + "fr_check_" +
+                           (transport == TransportKind::kSim ? "sim" : "shmem") + ".ndjson";
+  std::remove(path.c_str());
+  MaltOptions options;
+  options.transport = transport;
+  options.ranks = 2;
+  options.check = CheckLevel::kCheap;
+  options.telemetry.postmortem_path = path;
+  Malt malt(options);
+  malt.Run([](Worker& w) {
+    MaltVector v = w.CreateVector("model", 16);
+    w.BeginEpoch(0);
+    ASSERT_TRUE(v.Scatter().ok());
+    ASSERT_TRUE(w.Barrier().ok());
+  });
+  EXPECT_FALSE(Exists(path)) << "clean run must not dump";
+  malt.checker().ReportViolation("test-forced", 0, 7, "planted violation");
+  malt.DumpPostmortem("checker_violation");
+  ASSERT_TRUE(Exists(path));
+  const std::string bundle = Slurp(path);
+  EXPECT_NE(bundle.find("\"reason\":\"checker_violation\""), std::string::npos);
+  for (const char* section :
+       {"\"options\":", "\"metrics\":", "\"watermarks\":", "\"critical_paths\":",
+        "\"checker\":", "\"vclocks\":", "\"trace_tail\":"}) {
+    EXPECT_NE(bundle.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(bundle.find("test-forced"), std::string::npos)
+      << "checker section must carry the violation";
+}
+
+TEST(FlightRecorderEndToEnd, CheckerViolationBundleUnderSim) {
+  RunCheckerViolationBundle(TransportKind::kSim);
+}
+
+TEST(FlightRecorderEndToEnd, CheckerViolationBundleUnderShmem) {
+  RunCheckerViolationBundle(TransportKind::kShmem);
+}
+
+// A mid-run kill must leave a bundle without any driver involvement: the
+// shmem watchdog dumps at delivery, the sim runtime at run end; both paths
+// also record the death in the health watermarks.
+void RunKillBundle(TransportKind transport) {
+  const std::string path = testing::TempDir() + "fr_kill_" +
+                           (transport == TransportKind::kSim ? "sim" : "shmem") + ".ndjson";
+  std::remove(path.c_str());
+  MaltOptions options;
+  options.transport = transport;
+  options.ranks = 4;
+  options.telemetry.postmortem_path = path;
+  Malt malt(options);
+  malt.ScheduleKill(1, 0.02);
+  malt.Run([&](Worker& w) {
+    MaltVector v = w.CreateVector("model", 16);
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      w.BeginEpoch(epoch);
+      w.InjectDelay(0.01);  // real wall time under shmem, so the kill lands
+      ASSERT_TRUE(v.Scatter().ok());
+      ASSERT_TRUE(w.Barrier().ok());
+    }
+  });
+  EXPECT_EQ(malt.survivors(), 3);
+  ASSERT_TRUE(Exists(path));
+  const std::string bundle = Slurp(path);
+  EXPECT_NE(bundle.find("\"reason\":\"rank_death\""), std::string::npos);
+  if (transport == TransportKind::kShmem) {
+    EXPECT_NE(bundle.find("\"reason\":\"watchdog_kill\""), std::string::npos);
+  }
+  for (const char* section : {"\"options\":", "\"metrics\":", "\"watermarks\":", "\"vclocks\":"}) {
+    EXPECT_NE(bundle.find(section), std::string::npos) << section;
+  }
+  // The last record's watermarks must mark rank 1 dead.
+  const std::vector<std::string> lines = Lines(path);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("\"rank\":1,"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"dead\":1"), std::string::npos);
+}
+
+TEST(FlightRecorderEndToEnd, KillLeavesBundleUnderSim) { RunKillBundle(TransportKind::kSim); }
+
+TEST(FlightRecorderEndToEnd, KillLeavesBundleUnderShmem) {
+  RunKillBundle(TransportKind::kShmem);
+}
+
+}  // namespace
+}  // namespace malt

@@ -1,0 +1,177 @@
+// HealthMonitor: epoch critical-path profiling and straggler detection
+// (src/telemetry/health.h). Covers the in-order epoch finalization protocol,
+// both detector signals (wall-time z-score divergence and BSP blame
+// attribution), rank-death handling, and the end-to-end planted-straggler
+// runs on both transports: one artificially delayed rank must be flagged —
+// and only that rank. The shmem run executes real concurrent threads
+// (tools/check.sh re-runs this suite under ThreadSanitizer).
+
+#include "src/telemetry/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace malt {
+namespace {
+
+EpochReport MakeReport(int rank, int64_t epoch, SimTime start, SimTime end) {
+  EpochReport r;
+  r.rank = rank;
+  r.epoch = epoch;
+  r.start_ts = start;
+  r.end_ts = end;
+  r.compute_ns = end - start;
+  return r;
+}
+
+TEST(HealthMonitor, FinalizesEpochsInOrderOncePerRankReported) {
+  TelemetryDomain domain(3);
+  HealthMonitor health(&domain, 3);
+  // Epoch 1 fully reported before epoch 0: nothing may finalize yet.
+  for (int r = 0; r < 3; ++r) {
+    health.OnEpochClose(MakeReport(r, 1, 100, 200));
+  }
+  EXPECT_EQ(health.epochs_profiled(), 0);
+  health.OnEpochClose(MakeReport(0, 0, 0, 100));
+  health.OnEpochClose(MakeReport(1, 0, 0, 100));
+  EXPECT_EQ(health.epochs_profiled(), 0);
+  health.OnEpochClose(MakeReport(2, 0, 0, 100));
+  // The last epoch-0 report unblocks both epochs.
+  EXPECT_EQ(health.epochs_profiled(), 2);
+  const std::vector<CriticalPathRecord> paths = health.critical_paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].epoch, 0);
+  EXPECT_EQ(paths[1].epoch, 1);
+  EXPECT_EQ(paths[0].ranks_reporting, 3);
+}
+
+TEST(HealthMonitor, WallDivergenceFlagsTheSlowRank) {
+  TelemetryDomain domain(4);
+  HealthMonitor health(&domain, 4);
+  for (int64_t epoch = 0; epoch < 3; ++epoch) {
+    const SimTime start = epoch * 1000;
+    for (int r = 0; r < 4; ++r) {
+      // Rank 3 takes 10x everyone else's wall time; no barriers, so the
+      // z-score path must catch it (the blame vector stays empty).
+      health.OnEpochClose(MakeReport(r, epoch, start, start + (r == 3 ? 1000 : 100)));
+    }
+  }
+  EXPECT_EQ(health.epochs_profiled(), 3);
+  EXPECT_EQ(health.straggler_epochs(3), 3);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(health.straggler_epochs(r), 0) << "rank " << r;
+  }
+  for (const CriticalPathRecord& rec : health.critical_paths()) {
+    EXPECT_EQ(rec.critical_rank, 3);
+    EXPECT_EQ(rec.straggler, 3);
+    EXPECT_GT(rec.max_z, 1.0);
+  }
+}
+
+TEST(HealthMonitor, BlameFlagsTheStragglerWhenBarriersEqualizeWalls) {
+  TelemetryDomain domain(4);
+  HealthMonitor health(&domain, 4);
+  for (int64_t epoch = 0; epoch < 3; ++epoch) {
+    const SimTime start = epoch * 1000;
+    for (int r = 0; r < 4; ++r) {
+      // BSP shape: every rank's wall is the barrier-equalized 1000ns. The
+      // fast ranks each spent 800ns blocked on rank 1.
+      EpochReport rep = MakeReport(r, epoch, start, start + 1000);
+      if (r != 1) {
+        rep.wait_ns = 800;
+        rep.waiting_on = 1;
+        rep.waiting_on_ns = 800;
+        rep.wait_on_ns.assign(4, 0);
+        rep.wait_on_ns[1] = 800;
+      }
+      health.OnEpochClose(rep);
+    }
+  }
+  EXPECT_EQ(health.straggler_epochs(1), 3);
+  for (int r : {0, 2, 3}) {
+    EXPECT_EQ(health.straggler_epochs(r), 0) << "rank " << r;
+  }
+  for (const CriticalPathRecord& rec : health.critical_paths()) {
+    EXPECT_EQ(rec.most_blamed, 1);
+    EXPECT_GT(rec.max_blame_frac, 0.5);
+    EXPECT_EQ(rec.straggler, 1);
+  }
+}
+
+TEST(HealthMonitor, RankDeathUnblocksFinalizationAndMarksDead) {
+  TelemetryDomain domain(3);
+  HealthMonitor health(&domain, 3);
+  health.OnEpochClose(MakeReport(0, 0, 0, 100));
+  health.OnEpochClose(MakeReport(1, 0, 0, 100));
+  EXPECT_EQ(health.epochs_profiled(), 0);  // still waiting on rank 2
+  health.OnRankDead(2, 150);
+  EXPECT_EQ(health.epochs_profiled(), 1);
+  EXPECT_EQ(health.critical_paths()[0].ranks_reporting, 2);
+  EXPECT_EQ(domain.rank(2).metrics.GaugeValue(HealthMetricName(2, "dead")), 1.0);
+  // Watermarks JSON reflects the death (flight-recorder section content).
+  const std::string wm = health.WatermarksJson();
+  EXPECT_NE(wm.find("\"rank\":2,"), std::string::npos);
+  EXPECT_NE(wm.find("\"dead\":1"), std::string::npos);
+}
+
+TEST(HealthMonitor, FinishFlushesTrailingPartialEpochs) {
+  TelemetryDomain domain(2);
+  HealthMonitor health(&domain, 2);
+  health.OnEpochClose(MakeReport(0, 0, 0, 100));
+  EXPECT_EQ(health.epochs_profiled(), 0);
+  health.Finish(500);
+  EXPECT_EQ(health.epochs_profiled(), 1);
+  EXPECT_EQ(health.critical_paths()[0].ranks_reporting, 1);
+}
+
+// End-to-end planted straggler: one rank is delayed for real (InjectDelay is
+// wall time under shmem) and the detector must flag exactly that rank.
+void RunPlantedStraggler(TransportKind transport) {
+  const int n = 4;
+  const int slow = 2;
+  const int epochs = 5;
+  MaltOptions options;
+  options.transport = transport;
+  options.ranks = n;
+  Malt malt(options);
+  malt.Run([&](Worker& w) {
+    MaltVector v = w.CreateVector("model", 32);
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      w.BeginEpoch(epoch);
+      w.InjectDelay(w.rank() == slow ? 0.03 : 0.001);
+      ASSERT_TRUE(v.Scatter().ok());
+      ASSERT_TRUE(w.Barrier().ok());
+      v.GatherAverage();
+      ASSERT_TRUE(w.Barrier().ok());
+    }
+  });
+  const HealthMonitor& health = malt.health();
+  EXPECT_EQ(health.epochs_profiled(), epochs);
+  // The planted rank dominates; startup noise may exempt the first epoch.
+  EXPECT_GE(health.straggler_epochs(slow), epochs - 1);
+  for (int r = 0; r < n; ++r) {
+    if (r != slow) {
+      EXPECT_EQ(health.straggler_epochs(r), 0) << "rank " << r;
+    }
+  }
+  // Watermark gauges carry the verdict for live observers.
+  const MetricRegistry& reg = malt.telemetry().rank(slow).metrics;
+  EXPECT_GE(reg.GaugeValue(HealthMetricName(slow, "straggler_epochs")),
+            static_cast<double>(epochs - 1));
+  EXPECT_GT(reg.GaugeValue(HealthMetricName(slow, "blame_frac")), 0.35);
+}
+
+TEST(HealthEndToEnd, PlantedStragglerFlaggedUnderSim) {
+  RunPlantedStraggler(TransportKind::kSim);
+}
+
+TEST(HealthEndToEnd, PlantedStragglerFlaggedUnderShmem) {
+  RunPlantedStraggler(TransportKind::kShmem);
+}
+
+}  // namespace
+}  // namespace malt

@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/runtime.h"
@@ -176,6 +178,82 @@ TEST(Stream, SimSamplerRunsOnVirtualTime) {
     EXPECT_GT(ts, prev);
     prev = ts;
   }
+}
+
+// Concurrent writers: rank threads hammer counters and histogram Observe
+// while the sampler emits percentile records and the health layer appends
+// typed critical_path lines through AppendLine. Every line must come out
+// whole (the writer lock may not interleave records), and the histogram
+// records must carry percentiles computed mid-Observe without tearing.
+// TSan re-runs this via the shmem label in tools/check.sh.
+TEST(Stream, ConcurrentWritersInterleaveObserveAndAppendLine) {
+  const std::string path = testing::TempDir() + "stream_conc.ndjson";
+  const int n = 4;
+  const int kOps = 3000;
+  const int kAppends = 40;
+  TelemetryDomain domain(n);
+  MetricsStreamer streamer(&domain, path);
+  ASSERT_TRUE(streamer.status().ok());
+
+  std::vector<std::thread> workers;
+  for (int r = 0; r < n; ++r) {
+    workers.emplace_back([&domain, r] {
+      Counter* c = domain.rank(r).metrics.GetCounter("app.steps");
+      HistogramMetric* h = domain.rank(r).metrics.GetHistogram(
+          EdgeMetricName(r, (r + 1) % n, "delivery_ns"), EdgeDeliveryHistogramOptions());
+      for (int i = 0; i < kOps; ++i) {
+        c->Add(1);
+        h->Observe(1000.0 + static_cast<double>(i % 97) * 50.0);
+      }
+    });
+  }
+  std::thread appender([&streamer] {
+    for (int i = 0; i < kAppends; ++i) {
+      std::string line("{\"type\":\"critical_path\",\"epoch\":");
+      line.append(std::to_string(i));
+      line.append("}\n");
+      streamer.AppendLine(line);
+    }
+  });
+  // Sample from this thread while everything above is in flight.
+  int64_t ticks = 0;
+  while (ticks < 50) {
+    streamer.Sample(++ticks * 1000);
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  appender.join();
+  streamer.Sample((ticks + 1) * 1000);  // capture any trailing movement
+  streamer.Finish((ticks + 2) * 1000);
+  ASSERT_TRUE(streamer.status().ok()) << streamer.status().ToString();
+
+  const std::vector<std::string> lines = Lines(path);
+  int64_t total_steps = 0;
+  int typed = 0;
+  int histogram_records = 0;
+  for (const std::string& line : lines) {
+    // Whole records only: one JSON object per line, never torn.
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    if (line.find("\"type\":\"critical_path\"") != std::string::npos) {
+      ++typed;
+      continue;
+    }
+    const size_t at = line.find("\"app.steps\":");
+    if (at != std::string::npos) {
+      total_steps += std::stoll(line.substr(at + 12));
+    }
+    if (line.find("delivery_ns") != std::string::npos) {
+      ++histogram_records;
+      EXPECT_NE(line.find("\"p50\":"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"count\":"), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(typed, kAppends);
+  // Counter deltas across all sample records add up to every op exactly once.
+  EXPECT_EQ(total_steps, static_cast<int64_t>(n) * kOps);
+  EXPECT_GE(histogram_records, 1);
 }
 
 }  // namespace

@@ -23,6 +23,11 @@
 #                      the gate.
 #   6. trace_report.py smoke — flow-traced runs with the NDJSON sampler on
 #                      both transports, rendered by tools/trace_report.py.
+#   6b. health_report.py smoke — planted-straggler runs (one rank slowed via
+#                      --slow_rank) with --postmortem_out on both transports;
+#                      the straggler warning, the critical-path records, and
+#                      tools/health_report.py's tables must all name the
+#                      planted rank.
 #   7. TSan build + ctest -L shmem — the shared-memory transport suite
 #                      (real concurrent rank threads) under ThreadSanitizer,
 #                      plus an 8-rank malt_run with the 50ms metrics sampler
@@ -147,6 +152,32 @@ for transport in sim shmem; do
   fi
 done
 
+# --- 6b. health_report smoke: planted straggler + postmortem (both) ----------
+note "health_report.py smoke (planted straggler, sim + shmem)"
+health_report_smoke() {
+  local transport="$1"
+  local prefix="/tmp/malt_check_health_${transport}"
+  "$BUILD_DIR/tools/malt_run" --app=svm --ranks=4 --epochs=4 --transport="$transport" \
+      --slow_rank=2 --slow_factor=8 \
+      --metrics_out="${prefix}_metrics.json" \
+      --metrics_interval_ms=20 --metrics_stream="${prefix}_stream.ndjson" \
+      --postmortem_out="${prefix}_postmortem.ndjson" \
+      > "${prefix}_stdout.txt" \
+    && grep -q 'warning: rank 2 straggled' "${prefix}_stdout.txt" \
+    && grep -q '"type":"critical_path"' "${prefix}_stream.ndjson" \
+    && python3 "$REPO/tools/health_report.py" --stream "${prefix}_stream.ndjson" \
+         --metrics "${prefix}_metrics.json" > "${prefix}_report.txt" \
+    && grep -q 'per-epoch critical path' "${prefix}_report.txt" \
+    && grep -qE '^2 .*STRAGGLER' "${prefix}_report.txt"
+}
+for transport in sim shmem; do
+  if health_report_smoke "$transport"; then
+    echo "health_report.py OK ($transport; /tmp/malt_check_health_${transport}_report.txt)"
+  else
+    fail "health_report.py smoke ($transport)"
+  fi
+done
+
 # --- 7. TSan build + shmem-labelled tests ------------------------------------
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-$REPO/build-tsan}"
 note "configure + build (MALT_SANITIZE=thread) in $TSAN_BUILD_DIR"
@@ -156,7 +187,8 @@ else
   if cmake -B "$TSAN_BUILD_DIR" -S "$REPO" -DMALT_SANITIZE=thread >/dev/null \
      && cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
           --target test_base_seqlock test_shmem_transport test_shmem_dstorm test_shmem_runtime \
-                   test_check_shmem test_telemetry_flow test_telemetry_stream malt_run \
+                   test_check_shmem test_telemetry_flow test_telemetry_stream \
+                   test_telemetry_health test_telemetry_flightrec malt_run \
           > /tmp/malt_check_tsan_build.log 2>&1; then
     echo "TSan build OK"
     note "ctest -L shmem (ThreadSanitizer)"

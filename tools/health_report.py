@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Render the health layer's straggler / critical-path view of a malt_run.
+
+Inputs (any subset; at least one):
+  --stream FILE      NDJSON metrics stream written by --metrics_stream
+                     (carries the per-epoch {"type":"critical_path",...}
+                     records emitted by the HealthMonitor)
+  --metrics FILE     metrics report JSON written by --metrics_out
+                     (carries the health.rank.<r>.* watermark gauges)
+  --postmortem FILE  NDJSON postmortem bundle written by --postmortem_out
+
+Sections:
+  * per-epoch critical path: which rank bounded each epoch's wall time, its
+    compute/scatter/gather/wait split, and who it spent its blocking waits on
+  * straggler summary: per rank, how many epochs it was flagged (wall z-score
+    above threshold and well above the epoch mean)
+  * rank watermarks: last epoch, epoch lag, wait fraction, wall z-score,
+    dead/straggler flags from the health.rank.* gauges
+  * postmortem bundle: one row per dump record (reason, time, sections)
+
+Example:
+  malt_run --app=svm --ranks=8 --transport=shmem --slow_rank=3 \
+           --metrics_interval_ms=50 --metrics_stream=st.ndjson \
+           --metrics_out=m.json --postmortem_out=pm.ndjson
+  python3 tools/health_report.py --stream st.ndjson --metrics m.json
+"""
+
+import argparse
+import collections
+import json
+import re
+import sys
+
+HEALTH_RE = re.compile(r"^health\.rank\.(\d+)\.([a-z_]+)$")
+WATERMARK_COLS = ("epoch", "epoch_lag", "wait_frac", "wall_z", "waiting_on",
+                  "blame_frac", "straggler_epochs", "dead")
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "%.3fs" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.3fms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.1fus" % (ns / 1e3)
+    return "%dns" % int(ns)
+
+
+def table(headers, rows):
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out = [line, "-" * len(line)]
+    for r in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def load_ndjson(path):
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def report_critical_paths(records):
+    paths = [r for r in records if r.get("type") == "critical_path"]
+    if not paths:
+        print("\n== critical paths ==\nno critical_path records "
+              "(did the app call Worker::BeginEpoch?)")
+        return paths
+    print("\n== per-epoch critical path (%d epochs) ==" % len(paths))
+    rows = []
+    for p in paths:
+        wall = max(p["wall_ns"], 1)
+        split = "/".join("%d%%" % round(100.0 * p[k] / wall)
+                         for k in ("compute_ns", "scatter_ns", "gather_ns",
+                                   "wait_ns"))
+        waiting = ("rank %d (%s)" % (p["waiting_on"], fmt_ns(p["waiting_on_ns"]))
+                   if p.get("waiting_on", -1) >= 0 else "-")
+        rows.append([
+            p["epoch"], p["ranks"], p["critical_rank"], fmt_ns(p["wall_ns"]),
+            split, waiting, "%.2f" % p.get("max_z", 0.0),
+            p["straggler"] if p.get("straggler", -1) >= 0 else "-",
+        ])
+    print(table(["epoch", "ranks", "critical rank", "wall",
+                 "comp/scat/gath/wait", "waiting on", "max z", "straggler"],
+                rows))
+    return paths
+
+
+def report_stragglers(paths):
+    if not paths:
+        return
+    flagged = collections.Counter(p["straggler"] for p in paths
+                                  if p.get("straggler", -1) >= 0)
+    critical = collections.Counter(p["critical_rank"] for p in paths
+                                   if p.get("critical_rank", -1) >= 0)
+    print("\n== straggler summary ==")
+    if not flagged:
+        print("no epochs flagged a straggler")
+    ranks = sorted(set(flagged) | set(critical))
+    rows = [[r, critical.get(r, 0), flagged.get(r, 0),
+             "STRAGGLER" if flagged.get(r, 0) else ""] for r in ranks]
+    print(table(["rank", "epochs critical", "epochs flagged", ""], rows))
+
+
+def gauges_by_rank(doc):
+    """health.rank.<r>.<leaf> gauges -> {rank: {leaf: value}}."""
+    per_rank = collections.defaultdict(dict)
+    agg = doc.get("aggregate", doc)
+    for name, value in agg.get("gauges", {}).items():
+        m = HEALTH_RE.match(name)
+        if m:
+            per_rank[int(m.group(1))][m.group(2)] = value
+    return per_rank
+
+
+def report_watermarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    per_rank = gauges_by_rank(doc)
+    if not per_rank:
+        print("\n== rank watermarks ==\nno health.rank.* gauges in %s" % path)
+        return
+    print("\n== rank watermarks ==")
+    rows = []
+    for rank in sorted(per_rank):
+        g = per_rank[rank]
+        flags = []
+        if g.get("dead"):
+            flags.append("DEAD")
+        if g.get("straggler_epochs", 0) > 0:
+            flags.append("STRAGGLER")
+        rows.append([rank] +
+                    [("%g" % g[c]) if c in g else "-" for c in WATERMARK_COLS] +
+                    [" ".join(flags)])
+    print(table(["rank"] + list(WATERMARK_COLS) + [""], rows))
+
+
+def report_postmortem(path):
+    records = load_ndjson(path)
+    print("\n== postmortem bundle (%d records) ==" % len(records))
+    rows = []
+    for r in records:
+        sections = r.get("sections", {})
+        extra = ""
+        if "signal" in r:
+            extra = "signal %d" % r["signal"]
+        elif "checker" in sections:
+            try:
+                chk = sections["checker"]
+                chk = json.loads(chk) if isinstance(chk, str) else chk
+                v = chk.get("violations", 0)
+                extra = "%d violations" % (v if isinstance(v, int) else len(v))
+            except (ValueError, AttributeError):
+                pass
+        rows.append([r.get("reason", "?"), fmt_ns(r.get("ts_ns", 0)),
+                     ",".join(sorted(sections)) or "-", extra])
+    print(table(["reason", "ts", "sections", ""], rows))
+    # Surface the recorded watermarks of the final dump, if any carried them.
+    for r in reversed(records):
+        wm = r.get("sections", {}).get("watermarks")
+        if not wm:
+            continue
+        try:
+            wm = json.loads(wm) if isinstance(wm, str) else wm
+        except ValueError:
+            break
+        rows = [[w.get("rank"), w.get("epoch"), w.get("straggler_epochs"),
+                 "DEAD" if w.get("dead") else ""] for w in wm]
+        print("\n== watermarks at last dump ==")
+        print(table(["rank", "last epoch", "straggler epochs", ""], rows))
+        break
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--stream", help="NDJSON metrics stream (--metrics_stream)")
+    ap.add_argument("--metrics", help="metrics report JSON (--metrics_out)")
+    ap.add_argument("--postmortem", help="postmortem bundle (--postmortem_out)")
+    args = ap.parse_args()
+    if not (args.stream or args.metrics or args.postmortem):
+        ap.error("need at least one of --stream / --metrics / --postmortem")
+
+    if args.stream:
+        paths = report_critical_paths(load_ndjson(args.stream))
+        report_stragglers(paths)
+    if args.metrics:
+        report_watermarks(args.metrics)
+    if args.postmortem:
+        report_postmortem(args.postmortem)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

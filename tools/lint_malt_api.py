@@ -22,6 +22,11 @@ Rules:
                   literal "comm.edge." prefix anywhere else means a caller is
                   hand-rolling the name and will drift from the convention
                   tools/trace_report.py and the Merge() fold rely on.
+  health-name     The rank-health metric namespace ("health.rank.<r>.*" and
+                  "health.cluster.*") is minted only by HealthMetricName() in
+                  src/telemetry/; a literal "health." metric prefix anywhere
+                  else hand-rolls the name and drifts from the watermark
+                  conventions tools/health_report.py relies on.
   raw-mutex       std::mutex / std::lock_guard / bare pthread_mutex (and their
                   shared/recursive/unique/scoped kin) outside src/base/ are a
                   violation: concurrent code uses the annotated wrappers in
@@ -60,6 +65,7 @@ MEM_WRITE = re.compile(r"\bmem(?:cpy|set|move)\s*\(\s*([^,;]*)")
 SEGMENT_DEST = re.compile(r"Data\s*\(|\bregion|->bytes|\bsegment\b")
 RAW_SPAN = re.compile(r"(?:->|\.)Data\s*\(")
 EDGE_LITERAL = re.compile(r'"comm\.edge\.')
+HEALTH_LITERAL = re.compile(r'"health\.(?:rank|cluster)\.')
 NONDETERMINISM = re.compile(
     r"std::chrono|steady_clock|system_clock|\btime\s*\(|\brand\s*\(|"
     r"\bsrand\s*\(|random_device|\bgetenv\b"
@@ -113,6 +119,12 @@ def lint_lines(rel: str, lines: list, findings: list) -> None:
             findings.append((rel, lineno, "edge-name",
                              'literal "comm.edge." outside src/telemetry/; '
                              "mint edge metric names with EdgeMetricName()"))
+
+        if not rel.startswith("src/telemetry/") and HEALTH_LITERAL.search(stripped):
+            findings.append((rel, lineno, "health-name",
+                             'literal "health." metric name outside '
+                             "src/telemetry/; mint health metric names with "
+                             "HealthMetricName()"))
 
         if in_check and NONDETERMINISM.search(stripped):
             findings.append((rel, lineno, "check-determinism",

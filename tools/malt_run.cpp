@@ -83,12 +83,34 @@ void EmitTelemetry(malt::Malt& malt, const std::string& metrics_out,
                 dropped > 0 ? " (ring wrapped; oldest events dropped)" : "");
   }
   if (malt::MetricsStreamer* streamer = malt.metrics_streamer()) {
-    if (!streamer->status().ok()) {
+    const malt::Status status = streamer->status();
+    if (!status.ok()) {
       std::printf("warning: metrics stream %s: %s\n", streamer->path().c_str(),
-                  streamer->status().ToString().c_str());
+                  status.ToString().c_str());
     } else {
       std::printf("streamed %lld metric samples to %s\n",
                   static_cast<long long>(streamer->samples()), streamer->path().c_str());
+    }
+  }
+}
+
+// Post-run rank-health summary (src/telemetry/health.h): per-epoch straggler
+// flags and dead ranks become visible warnings on stdout.
+void EmitHealth(malt::Malt& malt) {
+  const malt::HealthMonitor& health = malt.health();
+  const int64_t epochs = health.epochs_profiled();
+  if (epochs <= 0) {
+    return;
+  }
+  for (int rank = 0; rank < malt.options().ranks; ++rank) {
+    const int64_t flagged = health.straggler_epochs(rank);
+    if (flagged > 0) {
+      std::printf("warning: rank %d straggled in %lld/%lld profiled epochs "
+                  "(see health.rank.%d.* gauges and tools/health_report.py)\n",
+                  rank, static_cast<long long>(flagged), static_cast<long long>(epochs), rank);
+    }
+    if (!malt.rank_survived(rank)) {
+      std::printf("warning: rank %d died before run end\n", rank);
     }
   }
 }
@@ -117,13 +139,23 @@ int64_t EmitCheck(malt::Malt& malt, const std::string& check_out) {
 }
 
 // Shared exit path for every app branch: telemetry is flushed (drop warning,
-// metrics, trace, stream summary) BEFORE the checker report can turn into a
-// nonzero exit — a run that fails the protocol check still leaves its
-// observability artifacts behind.
+// metrics, trace, stream summary, health warnings) BEFORE the checker report
+// can turn into a nonzero exit — a run that fails the protocol check still
+// leaves its observability artifacts behind, plus a postmortem bundle when
+// --postmortem_out is set.
 int Epilogue(malt::Malt& malt, const std::string& metrics_out, const std::string& trace_out,
              const std::string& check_out) {
   EmitTelemetry(malt, metrics_out, trace_out);
-  return EmitCheck(malt, check_out) > 0 ? 3 : 0;
+  EmitHealth(malt);
+  if (EmitCheck(malt, check_out) > 0) {
+    malt.DumpPostmortem("checker_violation");
+    if (malt.flight_recorder() != nullptr) {
+      std::printf("wrote postmortem bundle to %s\n",
+                  malt.options().telemetry.postmortem_path.c_str());
+    }
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -167,6 +199,12 @@ int main(int argc, char** argv) {
       "metrics_interval_ms", 0, "sample metrics every N ms mid-run (0 = off)"));
   const std::string metrics_stream = flags.GetString(
       "metrics_stream", "", "append NDJSON metric samples here (with --metrics_interval_ms)");
+  const std::string postmortem_out = flags.GetString(
+      "postmortem_out", "", "dump crash/violation postmortem bundles (NDJSON) here");
+  const int slow_rank = static_cast<int>(flags.GetInt(
+      "slow_rank", -1, "svm: make this rank a persistent straggler"));
+  const double slow_factor = flags.GetDouble(
+      "slow_factor", 4.0, "svm: --slow_rank computes this many times slower");
   const double kill_at = flags.GetDouble("kill_at", -1.0, "kill a rank at this virtual time");
   const int kill_rank = static_cast<int>(flags.GetInt("kill_rank", -1, "which rank to kill"));
   const std::string check_level =
@@ -178,6 +216,10 @@ int main(int argc, char** argv) {
   options.telemetry.flow_events = flow_events != 0;
   options.telemetry.metrics_interval_ms = metrics_interval_ms;
   options.telemetry.metrics_stream_path = metrics_stream;
+  options.telemetry.postmortem_path = postmortem_out;
+  // The driver owns the process, so it may install crash handlers; library
+  // users must opt in explicitly.
+  options.telemetry.postmortem_signals = !postmortem_out.empty();
   MALT_CHECK(metrics_interval_ms <= 0 || !metrics_stream.empty())
       << "--metrics_interval_ms needs --metrics_stream=FILE";
   const malt::Result<malt::CheckLevel> parsed_check = malt::ParseCheckLevel(check_level);
@@ -200,6 +242,8 @@ int main(int argc, char** argv) {
     config.cb_size = cb;
     config.average = average == "model" ? malt::SvmAppConfig::Average::kModel
                                         : malt::SvmAppConfig::Average::kGradient;
+    config.slow_rank = slow_rank;
+    config.slow_factor = slow_factor;
     malt::Malt malt(options);
     if (kill_rank >= 0 && kill_at >= 0) {
       malt.ScheduleKill(kill_rank, kill_at);

@@ -159,8 +159,14 @@ def report_stream(path):
     with open(path) as f:
         for line in f:
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            rec = json.loads(line)
+            # Typed records (e.g. "critical_path" from the health layer)
+            # interleave with samples; health_report.py renders those.
+            if "type" in rec:
+                continue
+            records.append(rec)
     if not records:
         print("\n== stream ==\nempty stream file")
         return {}
