@@ -1,0 +1,32 @@
+#include "src/base/mc.h"
+
+#if defined(MALT_MODELCHECK)
+
+namespace malt {
+namespace mc {
+
+namespace {
+
+thread_local SchedulerClient* g_current = nullptr;
+
+// Process-global mutation selector. Plain (non-atomic) on purpose: the
+// malt_mc driver arms it once before spawning harness threads and clears it
+// after joining them — there is no concurrent mutation of the selector
+// itself, and keeping the read side trivially cheap matters because every
+// MALT_MC_MUTATE site consults it on the hot protocol path of ON builds.
+McMutation g_mutation = McMutation::kNone;
+
+}  // namespace
+
+SchedulerClient* Current() { return g_current; }
+
+void SetCurrent(SchedulerClient* scheduler) { g_current = scheduler; }
+
+bool MutationActive(McMutation m) { return g_mutation == m; }
+
+void SetMutation(McMutation m) { g_mutation = m; }
+
+}  // namespace mc
+}  // namespace malt
+
+#endif  // MALT_MODELCHECK

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "src/base/mc.h"
 #include "src/base/thread_annotations.h"
 
 namespace malt {
@@ -82,7 +83,10 @@ class MALT_CAPABILITY("shared_mutex") SharedMutex {
 // Tiny test-and-set spinlock. The shmem hot path takes this several times per
 // traced one-sided write, from multiple sender threads into one receiver
 // trace ring; the critical section is a few stores, so spinning beats a futex
-// mutex's contended slow path by a wide margin.
+// mutex's contended slow path by a wide margin. The flag goes through the
+// mc:: shim so the model checker (DESIGN.md §11) can drive lock/unlock
+// through explored interleavings; MALT_MC_SPIN_YIELD parks a spinning thread
+// under the model-check scheduler and is a no-op otherwise.
 class MALT_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
@@ -91,6 +95,7 @@ class MALT_CAPABILITY("mutex") SpinLock {
 
   void lock() MALT_ACQUIRE() {
     while (flag_.test_and_set(std::memory_order_acquire)) {
+      MALT_MC_SPIN_YIELD();
 #if defined(__x86_64__) || defined(__i386__)
       __builtin_ia32_pause();
 #endif
@@ -100,7 +105,7 @@ class MALT_CAPABILITY("mutex") SpinLock {
   void AssertHeld() const MALT_ASSERT_CAPABILITY(this) {}
 
  private:
-  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  mc::atomic_flag flag_;
 };
 
 // Scoped exclusive holders. Concrete per lock type (not a template): the

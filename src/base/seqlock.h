@@ -8,14 +8,22 @@
 // In the simulator a write can be split into two apply events (header, then
 // payload) to exercise exactly this race deterministically; on real hardware
 // the same protocol covers DMA ordering.
+//
+// All synchronization goes through the mc:: shim (src/base/mc.h): in normal
+// builds these are exactly the std primitives; under MALT_MODELCHECK=ON the
+// model checker's scheduler drives this very code through systematically
+// explored interleavings (DESIGN.md §11). MALT_MC_MUTATE sites are planted
+// bugs for the checker's mutation self-test and constant-false otherwise.
 
 #ifndef SRC_BASE_SEQLOCK_H_
 #define SRC_BASE_SEQLOCK_H_
 
-#include <atomic>
+#include <atomic>  // NOLINT(malt-api) memory_order tokens only; ops go via mc::
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+
+#include "src/base/mc.h"
 
 namespace malt {
 
@@ -36,7 +44,7 @@ inline void AtomicStoreBytes(void* dst, const void* src, size_t len) {
   auto* d = static_cast<unsigned char*>(dst);
   const auto* s = static_cast<const unsigned char*>(src);
   while (len > 0 && (reinterpret_cast<uintptr_t>(d) % alignof(uint64_t)) != 0) {
-    std::atomic_ref<unsigned char>(*d).store(*s, std::memory_order_relaxed);
+    mc::RelaxedByteStore(d, *s);
     ++d;
     ++s;
     --len;
@@ -44,14 +52,13 @@ inline void AtomicStoreBytes(void* dst, const void* src, size_t len) {
   while (len >= sizeof(uint64_t)) {
     uint64_t word;
     std::memcpy(&word, s, sizeof(word));
-    std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(d))
-        .store(word, std::memory_order_relaxed);
+    mc::RelaxedWordStore(reinterpret_cast<uint64_t*>(d), word);
     d += sizeof(uint64_t);
     s += sizeof(uint64_t);
     len -= sizeof(uint64_t);
   }
   while (len > 0) {
-    std::atomic_ref<unsigned char>(*d).store(*s, std::memory_order_relaxed);
+    mc::RelaxedByteStore(d, *s);
     ++d;
     ++s;
     --len;
@@ -62,21 +69,20 @@ inline void AtomicLoadBytes(void* dst, const void* src, size_t len) {
   auto* d = static_cast<unsigned char*>(dst);
   const auto* s = static_cast<const unsigned char*>(src);
   while (len > 0 && (reinterpret_cast<uintptr_t>(s) % alignof(uint64_t)) != 0) {
-    *d = std::atomic_ref<const unsigned char>(*s).load(std::memory_order_relaxed);
+    *d = mc::RelaxedByteLoad(s);
     ++d;
     ++s;
     --len;
   }
   while (len >= sizeof(uint64_t)) {
-    const uint64_t word = std::atomic_ref<const uint64_t>(*reinterpret_cast<const uint64_t*>(s))
-                              .load(std::memory_order_relaxed);
+    const uint64_t word = mc::RelaxedWordLoad(reinterpret_cast<const uint64_t*>(s));
     std::memcpy(d, &word, sizeof(word));
     d += sizeof(uint64_t);
     s += sizeof(uint64_t);
     len -= sizeof(uint64_t);
   }
   while (len > 0) {
-    *d = std::atomic_ref<const unsigned char>(*s).load(std::memory_order_relaxed);
+    *d = mc::RelaxedByteLoad(s);
     ++d;
     ++s;
     --len;
@@ -86,6 +92,12 @@ inline void AtomicLoadBytes(void* dst, const void* src, size_t len) {
 class SeqLock {
  public:
   SeqLock() : seq_(0) {}
+
+  // Start from an arbitrary even sequence — used by the stamp-overflow tests
+  // to place the counter just below a wraparound boundary.
+  explicit SeqLock(uint64_t initial_seq) : seq_(initial_seq) {
+    assert((initial_seq & 1) == 0 && "initial sequence must be even (no write in progress)");
+  }
 
   // Writer protocol. Writes are already serialized per slot by the per-sender
   // queue design, so no writer-writer exclusion is needed — but the two
@@ -97,14 +109,25 @@ class SeqLock {
   // acquire-side readers. WriteEnd publishes payload + even sequence with one
   // release RMW.
   void WriteBegin() {
-    const uint64_t prev = seq_.fetch_add(1, std::memory_order_relaxed);
-    assert((prev & 1) == 0 && "WriteBegin while a write is in progress");
-    (void)prev;
-    std::atomic_thread_fence(std::memory_order_release);
+    if (!MALT_MC_MUTATE(kSeqlockSkipParityBump)) {
+      const uint64_t prev = seq_.fetch_add(1, std::memory_order_relaxed);
+      assert((prev & 1) == 0 && "WriteBegin while a write is in progress");
+      (void)prev;
+    }
+    mc::Fence(std::memory_order_release);
   }
   void WriteEnd() {
-    const uint64_t prev = seq_.fetch_add(1, std::memory_order_release);
-    assert((prev & 1) == 1 && "WriteEnd without a matching WriteBegin");
+    // Mutations: kSeqlockSkipParityBump pairs with WriteBegin above — the
+    // sequence advances by 2 here and never goes odd, so readers cannot tell
+    // a write is in flight. kSeqlockWriteEndRelaxed keeps the parity protocol
+    // but publishes without release ordering, so payload stores may become
+    // visible after the even sequence.
+    const uint64_t bump = MALT_MC_MUTATE(kSeqlockSkipParityBump) ? 2 : 1;
+    const std::memory_order order = MALT_MC_MUTATE(kSeqlockWriteEndRelaxed)
+                                        ? std::memory_order_relaxed
+                                        : std::memory_order_release;
+    const uint64_t prev = seq_.fetch_add(bump, order);
+    assert((bump == 2 || (prev & 1) == 1) && "WriteEnd without a matching WriteBegin");
     (void)prev;
   }
 
@@ -112,6 +135,7 @@ class SeqLock {
   uint64_t ReadBegin() const {
     uint64_t seq = seq_.load(std::memory_order_acquire);
     while (seq & 1) {  // write in progress; spin (simulator: re-apply loop)
+      MALT_MC_SPIN_YIELD();
       seq = seq_.load(std::memory_order_acquire);
     }
     return seq;
@@ -177,20 +201,21 @@ class SeqLock {
     // Order the payload loads before the validating sequence load: the
     // validation must not be satisfied by a stale sequence observed before
     // the payload was read.
-    std::atomic_thread_fence(std::memory_order_acquire);
+    mc::Fence(std::memory_order_acquire);
     return ReadValidate(begin_seq);
   }
 
   int ReadCopyAtomic(void* dst, const void* src, size_t len) const {
     int retries = 0;
     while (!TryReadCopyAtomic(dst, src, len)) {
+      MALT_MC_SPIN_YIELD();
       ++retries;
     }
     return retries;
   }
 
  private:
-  std::atomic<uint64_t> seq_;
+  mc::atomic<uint64_t> seq_;
 };
 
 }  // namespace malt

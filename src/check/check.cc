@@ -57,6 +57,37 @@ std::string ToString(CheckLevel level) {
   return "?";
 }
 
+namespace check {
+
+bool ParseSlotImage(std::span<const std::byte> slot, SlotImage* out) {
+  if (slot.size() < kPayloadOff + sizeof(uint64_t)) {
+    return false;
+  }
+  out->seq_front = LoadU64(slot.data() + kSeqFrontOff);
+  out->iter = LoadU32(slot.data() + kIterOff);
+  out->bytes = LoadU32(slot.data() + kBytesOff);
+  if (kPayloadOff + out->bytes + sizeof(uint64_t) > slot.size()) {
+    return false;  // header claims more payload than the snapshot holds
+  }
+  out->payload = slot.subspan(kPayloadOff, out->bytes);
+  out->seq_back = LoadU64(slot.data() + kPayloadOff + out->bytes);
+  return true;
+}
+
+void EncodeSlotImage(std::span<std::byte> slot, uint64_t seq, uint32_t iter,
+                     std::span<const std::byte> payload) {
+  const uint32_t bytes = static_cast<uint32_t>(payload.size());
+  MALT_CHECK(kPayloadOff + payload.size() + sizeof(uint64_t) <= slot.size())
+      << "slot too small for payload";
+  std::memcpy(slot.data() + kSeqFrontOff, &seq, sizeof(seq));
+  std::memcpy(slot.data() + kIterOff, &iter, sizeof(iter));
+  std::memcpy(slot.data() + kBytesOff, &bytes, sizeof(bytes));
+  std::memcpy(slot.data() + kPayloadOff, payload.data(), payload.size());
+  std::memcpy(slot.data() + kPayloadOff + payload.size(), &seq, sizeof(seq));
+}
+
+}  // namespace check
+
 ProtocolChecker::ProtocolChecker(CheckLevel level, int world)
     : level_(level),
       world_(world),

@@ -85,6 +85,32 @@ inline constexpr size_t kIterOff = 8;
 inline constexpr size_t kBytesOff = 12;
 inline constexpr size_t kPayloadOff = 16;
 
+// A decoded slot image — the ledger-as-oracle entry point shared by the
+// model checker's dstorm-slot harness (src/modelcheck/harnesses.cc) and any
+// other driver that reads raw slot bytes and feeds them to OnSlotRead. Keeps
+// the wire layout knowledge in exactly one place.
+struct SlotImage {
+  uint64_t seq_front = 0;
+  uint64_t seq_back = 0;
+  uint32_t iter = 0;
+  uint32_t bytes = 0;                // payload length claimed by the header
+  std::span<const std::byte> payload;  // views into the parsed buffer
+
+  bool torn() const { return seq_front != seq_back; }
+};
+
+// Decodes `slot` (a full slot-stride snapshot). Returns false when the slot
+// is structurally unusable — too short for the header/trailer or claiming
+// more payload bytes than the snapshot holds — which a reader must treat as
+// torn, never consume. The payload span aliases `slot`.
+bool ParseSlotImage(std::span<const std::byte> slot, SlotImage* out);
+
+// Encodes a consistent slot image (seq_back = seq_front = `seq`) into `slot`
+// for harnesses and tests that fabricate sender-side wire bytes. `slot` must
+// hold at least kPayloadOff + payload.size() + 8 bytes.
+void EncodeSlotImage(std::span<std::byte> slot, uint64_t seq, uint32_t iter,
+                     std::span<const std::byte> payload);
+
 // Violation kinds. Static strings: they double as trace-event names and as
 // the suffix of the `check.violations.<kind>` telemetry counter.
 inline constexpr const char* kTornReadEscape = "torn_read_escape";

@@ -1,0 +1,285 @@
+#include "src/modelcheck/explore.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/log.h"
+
+namespace malt {
+namespace modelcheck {
+
+namespace {
+
+// Coarse independence: different threads, and neither action commits. See
+// the header comment for why this is sound (commits are the only actions
+// that change global memory or the enabled set).
+bool Independent(const EnabledInfo& a, const EnabledInfo& b) {
+  if (a.act.tid == b.act.tid) {
+    return false;
+  }
+  return a.cls == OpClass::kInvisible && b.cls == OpClass::kInvisible;
+}
+
+bool InSleep(const std::vector<EnabledInfo>& sleep, const SchedAction& act) {
+  return std::any_of(sleep.begin(), sleep.end(),
+                     [&](const EnabledInfo& s) { return s.act == act; });
+}
+
+// One decision point of the DFS stack.
+struct StackEntry {
+  std::vector<EnabledInfo> enabled;
+  std::vector<EnabledInfo> sleep;  // alternatives already covered elsewhere
+  size_t chosen = 0;
+  int last_run_tid = -1;  // tid of the latest kRunThread action in the prefix
+  int preemptions = 0;    // preemptive switches along the prefix to this node
+};
+
+// Does choosing `c` at node `e` preempt the previously-running thread?
+bool IsPreemptive(const StackEntry& e, const EnabledInfo& c) {
+  if (c.act.kind != SchedAction::Kind::kRunThread || e.last_run_tid < 0 ||
+      c.act.tid == e.last_run_tid) {
+    return false;  // commits model the memory system, not the OS scheduler
+  }
+  return std::any_of(e.enabled.begin(), e.enabled.end(), [&](const EnabledInfo& x) {
+    return x.act.kind == SchedAction::Kind::kRunThread && x.act.tid == e.last_run_tid;
+  });
+}
+
+bool Eligible(const StackEntry& e, size_t i, int max_preemptions) {
+  if (InSleep(e.sleep, e.enabled[i].act)) {
+    return false;
+  }
+  if (max_preemptions >= 0 && IsPreemptive(e, e.enabled[i]) &&
+      e.preemptions + 1 > max_preemptions) {
+    return false;
+  }
+  return true;
+}
+
+// Replays the stack prefix, extends the stack at the frontier (first
+// eligible alternative), and free-runs (index 0) below a node whose whole
+// subtree is already covered.
+class DfsStrategy : public Strategy {
+ public:
+  DfsStrategy(std::vector<StackEntry>* stack, const DfsOptions& options)
+      : stack_(stack), options_(options) {}
+
+  size_t Choose(const std::vector<EnabledInfo>& enabled) override {
+    if (depth_ < stack_->size()) {
+      StackEntry& e = (*stack_)[depth_];
+      ++depth_;
+      // Deterministic-replay check: the recorded choice must still exist.
+      if (e.chosen >= enabled.size() || !(enabled[e.chosen].act == e.enabled[e.chosen].act)) {
+        return enabled.size();  // harness nondeterminism; scheduler reports
+      }
+      return e.chosen;
+    }
+    if (subtree_covered_) {
+      return 0;  // finish the execution; nothing below here is recorded
+    }
+    StackEntry entry;
+    entry.enabled = enabled;
+    if (!stack_->empty()) {
+      const StackEntry& p = stack_->back();
+      const EnabledInfo& a = p.enabled[p.chosen];
+      entry.last_run_tid =
+          a.act.kind == SchedAction::Kind::kRunThread ? a.act.tid : p.last_run_tid;
+      entry.preemptions = p.preemptions + (IsPreemptive(p, a) ? 1 : 0);
+      for (const EnabledInfo& s : p.sleep) {
+        if (Independent(s, a)) {
+          entry.sleep.push_back(s);
+        }
+      }
+    }
+    size_t pick = enabled.size();
+    for (size_t i = 0; i < enabled.size(); ++i) {
+      if (Eligible(entry, i, options_.max_preemptions)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == enabled.size()) {
+      // Every alternative is asleep (covered by an equivalent interleaving
+      // explored elsewhere) or over the preemption budget.
+      subtree_covered_ = true;
+      ++covered_nodes_;
+      return 0;
+    }
+    entry.chosen = pick;
+    stack_->push_back(std::move(entry));
+    ++depth_;
+    return pick;
+  }
+
+  int64_t covered_nodes() const { return covered_nodes_; }
+
+ private:
+  std::vector<StackEntry>* stack_;
+  DfsOptions options_;
+  size_t depth_ = 0;
+  bool subtree_covered_ = false;
+  int64_t covered_nodes_ = 0;
+};
+
+// Shared violation plumbing: scheduler verdict first, then the harness's
+// final-state invariants.
+bool Violation(const SchedResult& res, Harness* harness, std::string* message) {
+  switch (res.status) {
+    case SchedResult::Status::kOk:
+      break;
+    case SchedResult::Status::kFailed:
+      *message = res.failure;
+      return true;
+    case SchedResult::Status::kDeadlock:
+      *message = "deadlock: " + res.failure;
+      return true;
+    case SchedResult::Status::kDivergent:
+      *message = "divergence: " + res.failure;
+      return true;
+  }
+  std::string final_failure = harness->FinalCheck();
+  if (!final_failure.empty()) {
+    *message = "final-state invariant failed: " + final_failure;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreResult ExploreDfs(const HarnessFactory& factory, const DfsOptions& options) {
+  ExploreResult result;
+  std::vector<StackEntry> stack;
+  Scheduler sched(Scheduler::Options{options.max_steps});
+  while (result.executions < options.max_executions) {
+    std::unique_ptr<Harness> harness = factory();
+    DfsStrategy strategy(&stack, options);
+    const SchedResult res = sched.Run(harness->Threads(), &strategy);
+    ++result.executions;
+    result.pruned += strategy.covered_nodes();
+    std::string message;
+    if (Violation(res, harness.get(), &message)) {
+      result.violation = true;
+      result.message = message;
+      result.witness = res.trace;
+      return result;
+    }
+    // Backtrack: the deepest node with an unexplored eligible alternative
+    // advances; exhausted nodes pop (their chosen action joins the sleep
+    // sets of the siblings explored after it — that is the sleep-set rule).
+    bool advanced = false;
+    while (!stack.empty()) {
+      StackEntry& e = stack.back();
+      e.sleep.push_back(e.enabled[e.chosen]);
+      size_t next = e.enabled.size();
+      for (size_t i = 0; i < e.enabled.size(); ++i) {
+        if (Eligible(e, i, options.max_preemptions)) {
+          next = i;
+          break;
+        }
+      }
+      if (next < e.enabled.size()) {
+        e.chosen = next;
+        advanced = true;
+        break;
+      }
+      stack.pop_back();
+    }
+    if (!advanced) {
+      result.complete = true;
+      return result;
+    }
+  }
+  return result;  // max_executions exhausted; complete stays false
+}
+
+ExploreResult ExplorePct(const HarnessFactory& factory, const PctOptions& options) {
+  ExploreResult result;
+  Scheduler sched(Scheduler::Options{options.max_steps});
+  for (int64_t k = 0; k < options.executions; ++k) {
+    const uint64_t seed = options.seed0 + static_cast<uint64_t>(k);
+    std::unique_ptr<Harness> harness = factory();
+    std::vector<std::function<void()>> threads = harness->Threads();
+    PctStrategy strategy(seed, static_cast<int>(threads.size()), options.depth,
+                         options.expected_steps);
+    const SchedResult res = sched.Run(threads, &strategy);
+    ++result.executions;
+    std::string message;
+    if (Violation(res, harness.get(), &message)) {
+      result.violation = true;
+      result.message = message + " (pct seed " + std::to_string(seed) + ")";
+      result.witness = res.trace;
+      result.witness_seed = seed;
+      return result;
+    }
+  }
+  result.complete = true;  // the requested sweep finished (not exhaustive)
+  return result;
+}
+
+ReplayOutcome RunReplay(const HarnessFactory& factory, const std::vector<SchedAction>& trace,
+                        int64_t max_steps) {
+  ReplayOutcome outcome;
+  Scheduler sched(Scheduler::Options{max_steps});
+  std::unique_ptr<Harness> harness = factory();
+  ReplayStrategy strategy(trace);
+  outcome.sched = sched.Run(harness->Threads(), &strategy);
+  outcome.violation = Violation(outcome.sched, harness.get(), &outcome.message);
+  return outcome;
+}
+
+bool SaveTrace(const std::string& path, const std::vector<SchedAction>& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "malt-mc-trace v1\n";
+  for (const SchedAction& a : trace) {
+    if (a.kind == SchedAction::Kind::kRunThread) {
+      out << "R " << a.tid << "\n";
+    } else {
+      out << "C " << a.tid << " " << a.var_ix << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadTrace(const std::string& path, std::vector<SchedAction>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string header;
+  if (!std::getline(in, header) || header != "malt-mc-trace v1") {
+    return false;
+  }
+  out->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    char kind = 0;
+    SchedAction a;
+    fields >> kind >> a.tid;
+    if (kind == 'R') {
+      a.kind = SchedAction::Kind::kRunThread;
+    } else if (kind == 'C') {
+      a.kind = SchedAction::Kind::kCommitOldest;
+      fields >> a.var_ix;
+    } else {
+      return false;
+    }
+    if (fields.fail()) {
+      return false;
+    }
+    out->push_back(a);
+  }
+  return true;
+}
+
+}  // namespace modelcheck
+}  // namespace malt

@@ -1,0 +1,102 @@
+// Systematic and randomized schedule exploration over Scheduler (DESIGN.md
+// §11).
+//
+// ExploreDfs: stateless depth-first enumeration of schedules by repeated
+// re-execution. A stack of decision points records, per depth, the enabled
+// action set and which alternative ran; after each execution the deepest
+// entry with an unexplored alternative is advanced and the prefix replayed.
+// Pruning is by sleep sets (Godefroid) over a deliberately coarse
+// independence relation: actions of different threads are independent iff
+// NEITHER commits (loads, buffered stores, and thread-local startup commute
+// freely; any commit is dependent with everything, because commits change
+// both memory and the enabled set of spin-blocked threads). Coarse means
+// fewer prunes, never missed interleavings. An optional CHESS-style
+// preemption bound restricts the search to schedules with at most N
+// preemptive context switches.
+//
+// ExplorePct: one execution per seed under PctStrategy — randomized
+// priority-based search with d-1 priority change points, for harnesses too
+// large to enumerate. Deterministic per seed.
+//
+// Any violating execution's schedule trace can be saved to a file and
+// replayed exactly (--mc_replay in tools/malt_mc).
+
+#ifndef SRC_MODELCHECK_EXPLORE_H_
+#define SRC_MODELCHECK_EXPLORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/modelcheck/sched.h"
+
+namespace malt {
+namespace modelcheck {
+
+// One harness execution's worth of state: fresh primitive instances plus the
+// thread bodies that exercise them. A new instance is constructed per
+// explored execution so every run starts from an identical initial state.
+class Harness {
+ public:
+  virtual ~Harness() = default;
+
+  // The thread bodies. Called once; the returned closures may reference
+  // state owned by this instance (which outlives the execution).
+  virtual std::vector<std::function<void()>> Threads() = 0;
+
+  // Final-state invariants, checked after all threads completed (status
+  // kOk). Returns an empty string when satisfied, else the violation
+  // message. Runs on the exploring thread, not a harness thread.
+  virtual std::string FinalCheck() { return ""; }
+};
+
+using HarnessFactory = std::function<std::unique_ptr<Harness>()>;
+
+struct ExploreResult {
+  int64_t executions = 0;
+  int64_t pruned = 0;  // nodes whose whole subtree was covered elsewhere
+  bool complete = false;  // DFS: the (bounded) space was fully enumerated
+  bool violation = false;
+  std::string message;                  // first violation, with context
+  std::vector<SchedAction> witness;     // its schedule trace (replayable)
+  uint64_t witness_seed = 0;            // PCT: the seed that found it
+};
+
+struct DfsOptions {
+  int64_t max_executions = 2000000;
+  int max_preemptions = -1;  // <0: unbounded (full enumeration)
+  int64_t max_steps = 200000;
+};
+
+struct PctOptions {
+  int64_t executions = 1000;
+  uint64_t seed0 = 1;      // seeds seed0, seed0+1, ... are swept in order
+  int depth = 3;           // PCT bug depth d (d-1 change points)
+  int64_t expected_steps = 2000;
+  int64_t max_steps = 200000;
+};
+
+ExploreResult ExploreDfs(const HarnessFactory& factory, const DfsOptions& options);
+ExploreResult ExplorePct(const HarnessFactory& factory, const PctOptions& options);
+
+// Replays one recorded schedule against a fresh harness instance. The
+// outcome reproduces deterministically: same trace, same verdict.
+struct ReplayOutcome {
+  bool violation = false;
+  std::string message;
+  SchedResult sched;
+};
+ReplayOutcome RunReplay(const HarnessFactory& factory, const std::vector<SchedAction>& trace,
+                        int64_t max_steps = 200000);
+
+// Schedule trace file format: line "malt-mc-trace v1", then one action per
+// line — "R <tid>" (run thread) or "C <tid> <var_ix>" (commit oldest).
+bool SaveTrace(const std::string& path, const std::vector<SchedAction>& trace);
+bool LoadTrace(const std::string& path, std::vector<SchedAction>* out);
+
+}  // namespace modelcheck
+}  // namespace malt
+
+#endif  // SRC_MODELCHECK_EXPLORE_H_

@@ -1,0 +1,37 @@
+// Model-check harnesses over the REAL concurrency primitives (DESIGN.md
+// §11): each harness is a tiny N-thread program whose every interleaving the
+// explorer can enumerate (DFS) or sample (PCT), with invariants strong
+// enough that each planted mutation (mc::McMutation) is caught by at least
+// one harness while the unmutated code is violation-free.
+
+#ifndef SRC_MODELCHECK_HARNESSES_H_
+#define SRC_MODELCHECK_HARNESSES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/modelcheck/explore.h"
+
+namespace malt {
+namespace modelcheck {
+
+struct HarnessInfo {
+  const char* name;
+  const char* description;
+  int threads;
+  bool dfs_feasible;       // small enough to enumerate exhaustively
+  int64_t expected_steps;  // PCT change-point horizon
+};
+
+// All registered harnesses, in a stable order.
+const std::vector<HarnessInfo>& HarnessList();
+
+// Factory for a named harness; returns a null function for unknown names.
+HarnessFactory MakeHarness(const std::string& name);
+
+const HarnessInfo* FindHarnessInfo(const std::string& name);
+
+}  // namespace modelcheck
+}  // namespace malt
+
+#endif  // SRC_MODELCHECK_HARNESSES_H_

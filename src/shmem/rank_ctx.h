@@ -13,11 +13,12 @@
 #ifndef SRC_SHMEM_RANK_CTX_H_
 #define SRC_SHMEM_RANK_CTX_H_
 
-#include <atomic>
+#include <atomic>  // NOLINT(malt-api) memory_order tokens only; ops go via mc::
 #include <chrono>
 #include <functional>
 #include <thread>
 
+#include "src/base/mc.h"
 #include "src/comm/transport.h"
 #include "src/shmem/clock.h"
 #include "src/sim/engine.h"  // ProcessKilled
@@ -81,8 +82,11 @@ class ShmemRankCtx : public RankCtx {
 
   // Spin briefly (peers usually respond within microseconds), then back off
   // to real sleeps so oversubscribed runs (more ranks than cores) make
-  // progress without burning the scheduler.
+  // progress without burning the scheduler. Under the model checker the
+  // spin yield parks the thread until another thread commits a store, so
+  // wait loops never enumerate useless self-interleavings.
   static void Backoff(int spins) {
+    MALT_MC_SPIN_YIELD();
     if (spins < 64) {
       std::this_thread::yield();
     } else {
@@ -92,7 +96,7 @@ class ShmemRankCtx : public RankCtx {
 
   const int rank_;
   const Clock& clock_;
-  std::atomic<bool> kill_requested_{false};
+  mc::atomic<bool> kill_requested_{false};
 };
 
 }  // namespace malt

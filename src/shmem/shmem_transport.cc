@@ -10,17 +10,11 @@ namespace {
 
 // Lock-free float accumulate: the fetch_and_add the paper proposes doing in
 // NIC hardware, implemented with a CAS loop per element. Relaxed ordering is
-// enough — accumulator drains synchronize through barriers.
-void AtomicFloatAdd(float* p, float v) {
-  std::atomic_ref<float> cell(*p);
-  float cur = cell.load(std::memory_order_relaxed);
-  while (!cell.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
-  }
-}
+// enough — accumulator drains synchronize through barriers. Routed through
+// the mc:: shim so the model checker sees the RMWs as sync points.
+void AtomicFloatAdd(float* p, float v) { mc::FloatRefAdd(p, v); }
 
-float AtomicFloatExchange(float* p, float v) {
-  return std::atomic_ref<float>(*p).exchange(v, std::memory_order_relaxed);
-}
+float AtomicFloatExchange(float* p, float v) { return mc::FloatRefExchange(p, v); }
 
 }  // namespace
 
@@ -38,8 +32,11 @@ bool CompletionRing::TryPush(const Completion& c) {
   if (tail - head > mask_) {
     return false;  // full
   }
-  buf_[static_cast<size_t>(tail) & mask_] = c;
-  tail_.store(tail + 1, std::memory_order_release);
+  mc::PlainStore(&buf_[static_cast<size_t>(tail) & mask_], c);
+  // Mutation kRingRelaxedPublish: publish the new tail without release
+  // ordering — the consumer can observe the index before the slot contents.
+  tail_.store(tail + 1, MALT_MC_MUTATE(kRingRelaxedPublish) ? std::memory_order_relaxed
+                                                            : std::memory_order_release);
   return true;
 }
 
@@ -49,7 +46,7 @@ bool CompletionRing::TryPop(Completion* out) {
   if (head == tail) {
     return false;  // empty
   }
-  *out = buf_[static_cast<size_t>(head) & mask_];
+  *out = mc::PlainLoad(&buf_[static_cast<size_t>(head) & mask_]);
   head_.store(head + 1, std::memory_order_release);
   return true;
 }
@@ -177,7 +174,11 @@ void ShmemTransport::GuardedStore(Region& region, size_t offset,
     // Release fence: an unguarded store acts as a publish (barrier counters,
     // probe stamps) — prior writes by this thread must be visible to a
     // reader that observes it (Read's acquire fence is the other half).
-    std::atomic_thread_fence(std::memory_order_release);
+    // Mutation kShmemPublishFenceDropped removes the fence, letting earlier
+    // payload stores surface after the publish.
+    if (!MALT_MC_MUTATE(kShmemPublishFenceDropped)) {
+      mc::Fence(std::memory_order_release);
+    }
     AtomicStoreBytes(region.bytes.data() + offset, data.data(), data.size());
     return;
   }
@@ -201,7 +202,7 @@ bool ShmemTransport::Read(MrHandle mr, size_t offset, std::span<std::byte> out) 
     AtomicLoadBytes(out.data(), region->bytes.data() + offset, out.size());
     // Acquire half of the unguarded-store publish protocol (see
     // GuardedStore).
-    std::atomic_thread_fence(std::memory_order_acquire);
+    mc::Fence(std::memory_order_acquire);
     return true;
   }
   const size_t first = offset / region->stripe_bytes;
@@ -221,7 +222,7 @@ bool ShmemTransport::Read(MrHandle mr, size_t offset, std::span<std::byte> out) 
   }
   AtomicLoadBytes(out.data(), region->bytes.data() + offset, out.size());
   // Order the payload loads before the validating sequence loads.
-  std::atomic_thread_fence(std::memory_order_acquire);
+  mc::Fence(std::memory_order_acquire);
   for (size_t s = 0; s < nstripes; ++s) {
     if (region->guards[first + s].sequence() != begin_seq[s]) {
       return false;  // overwritten mid-read: torn

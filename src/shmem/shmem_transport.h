@@ -37,7 +37,7 @@
 #ifndef SRC_SHMEM_SHMEM_TRANSPORT_H_
 #define SRC_SHMEM_SHMEM_TRANSPORT_H_
 
-#include <atomic>
+#include <atomic>  // NOLINT(malt-api) memory_order tokens only; ops go via mc::
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -45,6 +45,7 @@
 #include <span>
 #include <vector>
 
+#include "src/base/mc.h"
 #include "src/base/mutex.h"
 #include "src/base/seqlock.h"
 #include "src/base/thread_annotations.h"
@@ -67,7 +68,9 @@ struct ShmemOptions {
 // Fixed-capacity single-producer/single-consumer completion ring. For this
 // transport both ends are the owning rank's thread (posts produce, polls
 // consume), but the implementation is a proper acquire/release SPSC ring so
-// the invariant is structural, not scheduling luck.
+// the invariant is structural, not scheduling luck. The indices go through
+// the mc:: shim (src/base/mc.h), so the model checker's SPSC harness drives
+// exactly this code through every 1p×1c interleaving (DESIGN.md §11).
 class CompletionRing {
  public:
   explicit CompletionRing(size_t capacity_pow2);
@@ -81,9 +84,9 @@ class CompletionRing {
  private:
   std::vector<Completion> buf_;
   size_t mask_;
-  std::atomic<uint64_t> head_{0};  // next pop
-  std::atomic<uint64_t> tail_{0};  // next push
-  std::atomic<int64_t> dropped_{0};
+  mc::atomic<uint64_t> head_{0};  // next pop
+  mc::atomic<uint64_t> tail_{0};  // next push
+  mc::atomic<int64_t> dropped_{0};
 };
 
 class ShmemTransport : public Transport {
@@ -156,7 +159,7 @@ class ShmemTransport : public Transport {
     std::vector<std::byte> bytes;
     size_t stripe_bytes;          // 0: unguarded (word-atomic access only)
     std::vector<SeqLock> guards;  // one per stripe when stripe_bytes > 0
-    std::atomic<bool> registered{true};
+    mc::atomic<bool> registered{true};
   };
 
   struct NodeCounters {
@@ -176,9 +179,9 @@ class ShmemTransport : public Transport {
   // for a shared destination (GetCounter is idempotent, so both racers
   // store the same pointer).
   struct EdgeCells {
-    std::atomic<Counter*> bytes{nullptr};
-    std::atomic<Counter*> msgs{nullptr};
-    std::atomic<HistogramMetric*> delivery_ns{nullptr};
+    mc::atomic<Counter*> bytes{nullptr};
+    mc::atomic<Counter*> msgs{nullptr};
+    mc::atomic<HistogramMetric*> delivery_ns{nullptr};
   };
   struct ResolvedEdge {
     Counter* bytes;
@@ -216,7 +219,7 @@ class ShmemTransport : public Transport {
 
   std::deque<CompletionRing> cq_;          // [node]; deque: ring is immovable
   std::vector<uint64_t> next_wr_id_;       // [node]; only node's thread posts
-  std::deque<std::atomic<bool>> alive_;    // [node]
+  std::deque<mc::atomic<bool>> alive_;     // [node]
 };
 
 }  // namespace malt

@@ -65,6 +65,58 @@ TEST(RingBuffer, ClearResets) {
   EXPECT_EQ(ring.Pop(), 9);
 }
 
+// Boundary cases the model checker's ring_1p1c harness exercises under
+// concurrency, pinned down here single-threaded: the exact transitions
+// empty -> full -> empty at a wrapping head index.
+TEST(RingBuffer, CapacityOneFullEmptyBoundary) {
+  RingBuffer<int> ring(1);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+  for (int i = 0; i < 5; ++i) {  // head wraps every push at capacity 1
+    EXPECT_TRUE(ring.TryPush(i));
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.TryPush(99));
+    EXPECT_EQ(ring.Front(), i);
+    EXPECT_EQ(ring.Pop(), i);
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(RingBuffer, FullAndEmptyDetectedAtEveryWrapOffset) {
+  // Drain-and-refill so each round starts with head at a different offset;
+  // full()/empty() must be exact at every boundary, not just head == 0.
+  RingBuffer<int> ring(3);
+  int next = 0;
+  for (int round = 0; round < 7; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(ring.full());
+      EXPECT_TRUE(ring.TryPush(next + i));
+    }
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.TryPush(-1));
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(ring.empty());
+      EXPECT_EQ(ring.Pop(), next + i);
+    }
+    EXPECT_TRUE(ring.empty());
+    next += 3;
+    ring.TryPush(0);  // rotate head one slot so the next round wraps elsewhere
+    ring.Pop();
+  }
+}
+
+TEST(RingBuffer, PushOverwriteAtWrapBoundaryKeepsOrder) {
+  RingBuffer<int> ring(2);
+  ring.PushOverwrite(1);
+  ring.PushOverwrite(2);
+  EXPECT_TRUE(ring.PushOverwrite(3));  // evicts 1, head wraps to slot 1
+  EXPECT_TRUE(ring.PushOverwrite(4));  // evicts 2, head wraps back to slot 0
+  EXPECT_EQ(ring.At(0), 3);
+  EXPECT_EQ(ring.At(1), 4);
+  EXPECT_EQ(ring.Pop(), 3);
+  EXPECT_EQ(ring.Pop(), 4);
+}
+
 TEST(RingBuffer, WrapAroundStress) {
   RingBuffer<int> ring(5);
   int next_pop = 0;

@@ -38,6 +38,49 @@ TEST(SeqLock, SequenceAdvancesByTwoPerWrite) {
   EXPECT_EQ(lock.sequence(), 2u);
 }
 
+// Stamp overflow: the sequence is a uint64 that only ever increments, so one
+// write straddling 2^64 - 2 wraps it to zero. The parity discipline (odd =
+// in flight) and validation must survive the wrap — these start from the
+// boundary via the explicit-initial-sequence constructor, the same
+// configuration the model checker's seqlock_overflow harness explores
+// exhaustively.
+TEST(SeqLock, StampOverflowKeepsParityDiscipline) {
+  constexpr uint64_t kBoundary = ~uint64_t{1};  // 2^64 - 2, even
+  SeqLock lock(kBoundary);
+  char src[8] = "new";
+  char dst[8] = {};
+  EXPECT_EQ(lock.sequence(), kBoundary);
+  lock.WriteBegin();
+  EXPECT_EQ(lock.sequence(), ~uint64_t{0});  // 2^64 - 1: odd, write in flight
+  EXPECT_TRUE(lock.WriteInProgress());
+  EXPECT_FALSE(lock.TryReadCopy(dst, src, sizeof(src)));
+  lock.WriteEnd();
+  EXPECT_EQ(lock.sequence(), 0u);  // wrapped to the next even value
+  EXPECT_FALSE(lock.WriteInProgress());
+  EXPECT_TRUE(lock.TryReadCopy(dst, src, sizeof(src)));
+}
+
+TEST(SeqLock, ValidationRejectsSnapshotSpanningOverflow) {
+  SeqLock lock(~uint64_t{1});
+  const uint64_t begin_seq = lock.ReadBegin();
+  lock.WriteBegin();
+  lock.WriteEnd();  // sequence wrapped 2^64-2 -> 0
+  EXPECT_FALSE(lock.ReadValidate(begin_seq)) << "a write across the wrap went unnoticed";
+  EXPECT_TRUE(lock.ReadValidate(0));
+}
+
+TEST(SeqLock, WriteAtomicAcrossOverflowStaysConsistent) {
+  SeqLock lock(~uint64_t{1});
+  unsigned char shared[32] = {};
+  unsigned char image[32];
+  std::memset(image, 0x5a, sizeof(image));
+  lock.WriteAtomic(shared, image, sizeof(shared));
+  unsigned char snapshot[32] = {};
+  EXPECT_TRUE(lock.TryReadCopyAtomic(snapshot, shared, sizeof(shared)));
+  EXPECT_EQ(std::memcmp(snapshot, image, sizeof(image)), 0);
+  EXPECT_EQ(lock.sequence(), 0u);
+}
+
 TEST(SeqLock, ConcurrentReadersNeverSeeTornData) {
   // Writer repeatedly writes a buffer where all bytes carry the same value;
   // readers must never observe a mix. Uses the word-atomic copy helpers so

@@ -181,6 +181,42 @@ TEST(ShmemTransport, TrafficStatsTotalsAggregateAllPairs) {
   EXPECT_EQ(t.stats().RxBytes(2), int64_t{2} * sizeof(payload));
 }
 
+// The SPSC ring's index arithmetic never resets: head/tail increase
+// monotonically and the mask picks the slot, so correctness at the
+// full/empty boundaries must hold at every wrap offset. The model checker's
+// ring_1p1c harness explores these transitions under every interleaving;
+// this pins the same boundaries down single-threaded.
+TEST(ShmemTransport, CompletionRingFullEmptyAcrossWraparound) {
+  CompletionRing ring(2);
+  Completion out;
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.TryPop(&out));  // empty boundary
+  uint64_t next_push = 1;
+  uint64_t next_pop = 1;
+  for (int round = 0; round < 8; ++round) {  // 8 rounds x 2 slots: many wraps
+    Completion c;
+    c.status = WcStatus::kSuccess;
+    c.wr_id = next_push;
+    c.dst = static_cast<int>(next_push);
+    ASSERT_TRUE(ring.TryPush(c));
+    ++next_push;
+    c.wr_id = next_push;
+    c.dst = static_cast<int>(next_push);
+    ASSERT_TRUE(ring.TryPush(c));
+    ++next_push;
+    c.wr_id = 999;
+    EXPECT_FALSE(ring.TryPush(c));  // full boundary
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(ring.TryPop(&out));
+      EXPECT_EQ(out.wr_id, next_pop);
+      EXPECT_EQ(out.dst, static_cast<int>(next_pop));
+      ++next_pop;
+    }
+    EXPECT_TRUE(ring.Empty());
+    EXPECT_FALSE(ring.TryPop(&out));
+  }
+}
+
 TEST(ShmemTransport, CompletionRingDropsWhenFull) {
   ShmemOptions opts;
   opts.cq_capacity = 4;

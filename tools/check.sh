@@ -18,6 +18,13 @@
 #                      transports, nondeterminism in src/check/, telemetry
 #                      metric naming).
 #   4. ctest -L analysis — the protocol-checker test suite.
+#   4b. model check   — cmake -DMALT_MODELCHECK=ON build, then ctest -L
+#                      modelcheck: exhaustive DFS over the tiny seqlock/ring
+#                      configs, a fixed-seed PCT sweep, and the planted-bug
+#                      mutation matrix with deterministic replay
+#                      (tools/malt_mc --selftest + tests/test_modelcheck).
+#                      Failing schedules land in /tmp/malt_mc_*.trace; replay
+#                      one with malt_mc --harness=<h> --mc_replay=<file>.
 #   5. malt_run --check=full — the SVM example under the happens-before
 #                      validator, on both transports; any violation fails
 #                      the gate.
@@ -109,6 +116,27 @@ if (cd "$BUILD_DIR" && ctest -L analysis --output-on-failure -j "$JOBS"); then
   echo "analysis tests OK"
 else
   fail "ctest -L analysis"
+fi
+
+# --- 4b. systematic interleaving checker -------------------------------------
+# Runs in --fast too: the exhaustive sweeps are bounded (< 60 s for the
+# largest config) and this is the only stage that exercises the mc:: shim's
+# instrumented builds at all.
+MC_BUILD_DIR="${MC_BUILD_DIR:-$REPO/build-modelcheck}"
+note "configure + build (MALT_MODELCHECK=ON) in $MC_BUILD_DIR"
+if cmake -B "$MC_BUILD_DIR" -S "$REPO" -DMALT_MODELCHECK=ON >/dev/null \
+   && cmake --build "$MC_BUILD_DIR" -j "$JOBS" --target malt_mc test_modelcheck \
+        > /tmp/malt_check_mc_build.log 2>&1; then
+  echo "model-check build OK"
+  note "ctest -L modelcheck (exhaustive DFS + PCT sweep + mutation matrix)"
+  if (cd "$MC_BUILD_DIR" && ctest -L modelcheck --output-on-failure); then
+    echo "model check OK"
+  else
+    fail "ctest -L modelcheck (schedule traces: /tmp/malt_mc_*.trace)"
+  fi
+else
+  tail -40 /tmp/malt_check_mc_build.log
+  fail "model-check build (MALT_MODELCHECK=ON)"
 fi
 
 # --- 5. protocol check on the SVM example (both transports) ------------------

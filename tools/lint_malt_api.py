@@ -33,6 +33,15 @@ Rules:
                   src/base/mutex.h (malt::Mutex, MutexLock, ...) so the clang
                   thread-safety analysis (-Werror=thread-safety) sees every
                   lock.
+  raw-atomic      In the model-checked protocol code (src/base/seqlock.h,
+                  src/base/ring_buffer.h, src/shmem/), direct std::atomic /
+                  std::atomic_ref / std::atomic_flag / std::atomic_thread_fence
+                  use bypasses the mc:: shim (src/base/mc.h), so the
+                  interleaving checker would not see those sync points and its
+                  exhaustive runs would silently under-approximate. Use
+                  mc::atomic<T>, mc::atomic_flag, mc::Fence, and the mc::
+                  word-atomic helpers. std::memory_order tokens are fine —
+                  they parameterize the shim, they do not bypass it.
 
 A line containing NOLINT(malt-api) is skipped. Exit status: 0 clean,
 1 findings, 2 usage error.
@@ -76,6 +85,18 @@ RAW_MUTEX = re.compile(
     r"\bpthread_mutex(?:_t)?\b"
 )
 
+# Model-checked protocol code: every atomic op must route through the mc::
+# shim so the interleaving checker sees it as a sync point. memory_order
+# tokens are deliberately NOT matched (they parameterize the shim).
+MC_SHIM_SCOPE = ("src/base/seqlock.h", "src/base/ring_buffer.h", "src/shmem/")
+RAW_ATOMIC = re.compile(
+    r"std::atomic(?:_ref|_flag|_thread_fence|_signal_fence)?\b|"
+    r"\bATOMIC_FLAG_INIT\b|"
+    # The bare include is flagged too: including <atomic> for memory_order
+    # tokens is legitimate but must say so via NOLINT(malt-api) + reason.
+    r"#\s*include\s*<atomic>"
+)
+
 
 def lint_file(path: Path, findings: list) -> None:
     rel = path.relative_to(REPO).as_posix()
@@ -93,6 +114,7 @@ def lint_lines(rel: str, lines: list, findings: list) -> None:
     in_segment_writer = rel.startswith(SEGMENT_WRITERS)
     in_check = rel.startswith("src/check/")
     in_base = rel.startswith("src/base/")
+    in_mc_scope = rel.startswith(MC_SHIM_SCOPE)
 
     for lineno, line in enumerate(lines, start=1):
         if "NOLINT(malt-api)" in line:
@@ -130,6 +152,13 @@ def lint_lines(rel: str, lines: list, findings: list) -> None:
             findings.append((rel, lineno, "check-determinism",
                              "nondeterminism in src/check/; the checker must "
                              "replay identically (take times via hook args)"))
+
+        if in_mc_scope and RAW_ATOMIC.search(stripped):
+            findings.append((rel, lineno, "raw-atomic",
+                             "direct std::atomic use in model-checked protocol "
+                             "code; route it through the mc:: shim "
+                             "(src/base/mc.h) so the interleaving checker sees "
+                             "the sync point"))
 
         if not in_base and RAW_MUTEX.search(stripped):
             findings.append((rel, lineno, "raw-mutex",
